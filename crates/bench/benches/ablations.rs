@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. merge-tree-indexed level sets vs a naive full scan — the paper's
+//!    output-sensitivity claim only pays off when the answer is small;
+//! 2. restricted (rotation) vs naive (shuffle) Monte Carlo — comparable
+//!    cost, so the statistical validity of the restricted test is free;
+//! 3. persistence-derived thresholds vs fixed quantile thresholds —
+//!    threshold computation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygamy_stats::permutation::temporal_rotation;
+use polygamy_stats::quantile;
+use polygamy_topology::{super_level_set, BitVec, DomainGraph, MergeTree};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn spiky(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let base = ((i % 24) as f64 / 24.0).sin();
+            if i % 997 == 0 {
+                base + 50.0
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+fn bench_index_vs_scan(c: &mut Criterion) {
+    let n = 500_000;
+    let g = DomainGraph::time_series(n);
+    let f = spiky(n);
+    let tree = MergeTree::join(&g, &f);
+    let mut group = c.benchmark_group("ablation_level_set");
+    for &(label, q) in &[("sparse_0.1%", 0.999), ("dense_50%", 0.5)] {
+        let theta = quantile(&f, q);
+        group.bench_with_input(BenchmarkId::new("merge_tree_index", label), &theta, |b, &t| {
+            b.iter(|| super_level_set(&g, &f, &tree, t))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", label), &theta, |b, &t| {
+            b.iter(|| {
+                let mut out = BitVec::zeros(n);
+                for (i, &v) in f.iter().enumerate() {
+                    if v >= t {
+                        out.set(i);
+                    }
+                }
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_restricted_vs_naive_mc(c: &mut Criterion) {
+    let n = 17_520;
+    let mut group = c.benchmark_group("ablation_permutation");
+    group.bench_function("restricted_rotation", |b| {
+        b.iter(|| temporal_rotation(1, n, 4_321))
+    });
+    group.bench_function("naive_shuffle", |b| {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            perm.shuffle(&mut rng);
+            perm
+        })
+    });
+    group.finish();
+}
+
+fn bench_threshold_strategies(c: &mut Criterion) {
+    let n = 200_000;
+    let g = DomainGraph::time_series(n);
+    let f = spiky(n);
+    let join = MergeTree::join(&g, &f);
+    let split = MergeTree::split(&g, &f);
+    let mut group = c.benchmark_group("ablation_thresholds");
+    group.bench_function("persistence_2means", |b| {
+        b.iter(|| polygamy_topology::compute_thresholds(&join, &split))
+    });
+    group.bench_function("fixed_quantile", |b| {
+        b.iter(|| (quantile(&f, 0.99), quantile(&f, 0.01)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index_vs_scan, bench_restricted_vs_naive_mc, bench_threshold_strategies
+}
+criterion_main!(benches);

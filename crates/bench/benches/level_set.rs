@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark: output-sensitive level-set queries through
+//! the merge-tree index at varying selectivity (the other half of
+//! Figure 7's "querying" time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygamy_stats::quantile;
+use polygamy_topology::{super_level_set, DomainGraph, MergeTree};
+
+fn bumpy(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            ((i as f64) / 13.0).sin() * 10.0
+                + ((i as u64).wrapping_mul(0x9E37_79B9) % 101) as f64 / 10.0
+        })
+        .collect()
+}
+
+fn bench_level_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("super_level_set");
+    let steps = 200_000usize;
+    let g = DomainGraph::time_series(steps);
+    let f = bumpy(steps);
+    let tree = MergeTree::join(&g, &f);
+    // Selectivity sweep: the fraction of the domain in the answer.
+    for &q in &[0.99, 0.90, 0.50, 0.10] {
+        let theta = quantile(&f, q);
+        group.bench_with_input(
+            BenchmarkId::new("selectivity", format!("{:.0}%", (1.0 - q) * 100.0)),
+            &theta,
+            |b, &theta| b.iter(|| super_level_set(&g, &f, &tree, theta)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_level_set
+}
+criterion_main!(benches);

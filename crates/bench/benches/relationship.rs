@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark behind Figure 9: relationship evaluation and
+//! the restricted Monte Carlo significance test (which the paper reports
+//! as >90% of query time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygamy_core::relationship::evaluate_features;
+use polygamy_core::significance::{significance_test, PermutationScheme};
+use polygamy_stats::permutation::MonteCarlo;
+use polygamy_topology::{BitVec, FeatureSet};
+
+fn sparse_features(n: usize, every: usize, offset: usize) -> FeatureSet {
+    let mut pos = BitVec::zeros(n);
+    let mut neg = BitVec::zeros(n);
+    for i in (offset..n).step_by(every) {
+        pos.set(i);
+    }
+    for i in (offset + every / 2..n).step_by(every * 3) {
+        neg.set(i);
+    }
+    FeatureSet { pos, neg }
+}
+
+fn bench_relationship(c: &mut Criterion) {
+    let n = 17_520; // two years of hourly steps at city scale
+    let a = sparse_features(n, 37, 0);
+    let b = sparse_features(n, 37, 3);
+
+    c.bench_function("evaluate_features_17k", |bch| {
+        bch.iter(|| evaluate_features(&a, &b))
+    });
+
+    let mut group = c.benchmark_group("significance_test");
+    let observed = evaluate_features(&a, &b).score;
+    for &perms in &[100usize, 1_000] {
+        let mc = MonteCarlo {
+            permutations: perms,
+            ..MonteCarlo::default()
+        };
+        group.bench_with_input(BenchmarkId::new("temporal", perms), &perms, |bch, _| {
+            bch.iter(|| {
+                significance_test(&a, &b, &[vec![]], n, observed, &mc, PermutationScheme::Paper, 7)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_relationship
+}
+criterion_main!(benches);

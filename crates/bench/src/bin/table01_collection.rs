@@ -1,0 +1,7 @@
+//! Harness binary for `experiments::collection`. Pass `--quick` for a reduced
+//! workload.
+
+fn main() {
+    let quick = polygamy_bench::quick_mode();
+    print!("{}", polygamy_bench::experiments::collection::run(quick));
+}

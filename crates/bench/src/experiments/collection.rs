@@ -1,0 +1,42 @@
+//! Table 1 — properties of the NYC-Urban analogue collection.
+
+use crate::{human_bytes, Table};
+use polygamy_core::FunctionSpec;
+use polygamy_stdata::temporal::date_of;
+
+/// Prints the Table 1 analogue.
+pub fn run(quick: bool) -> String {
+    let c = super::urban(quick);
+    let mut out = String::from("# Table 1 — the urban collection\n\n");
+    out.push_str(
+        "Paper collection: Gas Prices, Vehicle Collisions, 311, 911, Citi\n\
+         Bike, NCEI Weather (228 attrs), Traffic Speed, Taxi (868M records),\n\
+         Twitter. Synthetic analogue below (record volume set by `scale`).\n\n",
+    );
+    let mut t = Table::new(&[
+        "data set",
+        "size",
+        "#records",
+        "time range",
+        "#scalar fns",
+        "spatial res",
+        "temporal res",
+    ]);
+    for d in &c.datasets {
+        let (lo, hi) = d.time_range().expect("non-empty");
+        let specs = FunctionSpec::enumerate(d).len();
+        t.row(&[
+            d.meta.name.clone(),
+            human_bytes(d.approx_bytes()),
+            d.len().to_string(),
+            format!("{}..{}", date_of(lo).year, date_of(hi - 1).year),
+            specs.to_string(),
+            d.meta.spatial_resolution.label().to_string(),
+            d.meta.temporal_resolution.label().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    let total: usize = c.datasets.iter().map(|d| d.len()).sum();
+    out.push_str(&format!("\nTotal records: {total}\n"));
+    out
+}

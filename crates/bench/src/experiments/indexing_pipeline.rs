@@ -1,0 +1,76 @@
+//! Figure 8 — scalar-function computation + feature identification time
+//! with increasing numbers of data sets (a: urban, b: open).
+
+use crate::{fnum, Table};
+use polygamy_core::prelude::*;
+use polygamy_datagen::{open_collection, OpenConfig};
+
+/// Measures cumulative indexing cost as data sets are added.
+pub fn run(quick: bool) -> String {
+    let mut out = String::from("# Figure 8 — indexing and feature identification\n\n");
+    out.push_str(
+        "Paper shape (a): cost jumps when the large many-attribute data\n\
+         sets (taxi; 228-attribute weather) join. (b): for many small data\n\
+         sets, feature identification dominates scalar computation.\n\n",
+    );
+
+    // (a) Urban collection, one data set at a time.
+    let c = super::urban(quick);
+    out.push_str("## (a) urban collection\n");
+    let mut t = Table::new(&[
+        "#data sets",
+        "last added",
+        "scalar (s)",
+        "features (s)",
+        "#functions",
+    ]);
+    let mut dp = DataPolygamy::new(
+        c.geometry().clone(),
+        polygamy_core::framework::Config::default(),
+    );
+    for (i, d) in c.datasets.iter().enumerate() {
+        dp.add_dataset(d.clone());
+        let report = dp.build_index();
+        let scalar: f64 = report.per_dataset.iter().map(|s| s.scalar_secs).sum();
+        let features: f64 = report.per_dataset.iter().map(|s| s.feature_secs).sum();
+        let n_functions: usize = report.per_dataset.iter().map(|s| s.n_functions).sum();
+        t.row(&[
+            (i + 1).to_string(),
+            d.meta.name.clone(),
+            fnum(scalar, 2),
+            fnum(features, 2),
+            n_functions.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // (b) Open corpus prefixes.
+    let open = open_collection(OpenConfig {
+        n_datasets: if quick { 12 } else { 40 },
+        ..OpenConfig::default()
+    });
+    out.push_str("\n## (b) open corpus\n");
+    let mut t2 = Table::new(&["#data sets", "scalar (s)", "features (s)", "#functions"]);
+    let sizes: Vec<usize> = if quick { vec![4, 8, 12] } else { vec![10, 20, 30, 40] };
+    for &n in &sizes {
+        let mut dp = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            polygamy_core::framework::Config::default(),
+        );
+        for d in open.datasets.iter().take(n) {
+            dp.add_dataset(d.clone());
+        }
+        let report = dp.build_index();
+        let scalar: f64 = report.per_dataset.iter().map(|s| s.scalar_secs).sum();
+        let features: f64 = report.per_dataset.iter().map(|s| s.feature_secs).sum();
+        let n_functions: usize = report.per_dataset.iter().map(|s| s.n_functions).sum();
+        t2.row(&[
+            n.to_string(),
+            fnum(scalar, 2),
+            fnum(features, 2),
+            n_functions.to_string(),
+        ]);
+    }
+    out.push_str(&t2.render());
+    out
+}

@@ -1,0 +1,54 @@
+//! One module per paper table/figure. Each exposes `run(quick) -> String`.
+
+pub mod baselines;
+pub mod collection;
+pub mod correctness;
+pub mod index_scaling;
+pub mod indexing_pipeline;
+pub mod join_tree;
+pub mod motivation;
+pub mod persistence;
+pub mod pruning;
+pub mod query_rate;
+pub mod relationships;
+pub mod resolutions;
+pub mod robustness;
+pub mod space;
+pub mod speedup;
+
+use polygamy_core::prelude::*;
+use polygamy_datagen::{urban_collection, UrbanCollection, UrbanConfig};
+
+/// Standard NYC-Urban analogue used by the experiments: 2 simulated years;
+/// quick mode shrinks the record volume.
+pub fn urban(quick: bool) -> UrbanCollection {
+    urban_collection(UrbanConfig {
+        n_years: 2,
+        scale: if quick { 0.05 } else { 0.2 },
+        extra_weather_attrs: if quick { 0 } else { 8 },
+        ..UrbanConfig::default()
+    })
+}
+
+/// Builds and indexes the standard collection.
+pub fn indexed(quick: bool) -> (UrbanCollection, DataPolygamy) {
+    let collection = urban(quick);
+    let mut dp = DataPolygamy::new(
+        collection.geometry().clone(),
+        polygamy_core::framework::Config::default(),
+    );
+    for d in collection.datasets.iter() {
+        dp.add_dataset(d.clone());
+    }
+    dp.build_index();
+    (collection, dp)
+}
+
+/// Monte Carlo permutation count for queries (paper: 1,000).
+pub fn permutations(quick: bool) -> usize {
+    if quick {
+        100
+    } else {
+        1_000
+    }
+}

@@ -1,0 +1,197 @@
+//! Section 6.3 + Appendix E.2 — interesting relationships: the headline
+//! findings, each matched against the paper's reported τ/ρ.
+
+use crate::{fnum, Table};
+use polygamy_core::prelude::*;
+use polygamy_core::Relationship;
+
+struct Finding {
+    left: &'static str,
+    right: &'static str,
+    paper: &'static str,
+    expect_sign: f64,
+    class: Option<FeatureClass>,
+}
+
+const FINDINGS: &[Finding] = &[
+    Finding {
+        left: "taxi.density",
+        right: "weather.avg(precipitation)",
+        paper: "τ=-0.62 ρ=0.75 (hour, city)",
+        expect_sign: -1.0,
+        class: None,
+    },
+    Finding {
+        left: "taxi.avg(fare)",
+        right: "weather.avg(precipitation)",
+        paper: "τ=0.73 ρ=0.70 (hour, city)",
+        expect_sign: 1.0,
+        class: None,
+    },
+    Finding {
+        left: "taxi.density",
+        right: "weather.avg(wind-speed)",
+        paper: "τ=-1.0 ρ=0.13 extreme",
+        expect_sign: -1.0,
+        class: Some(FeatureClass::Extreme),
+    },
+    Finding {
+        left: "taxi.unique",
+        right: "weather.avg(precipitation)",
+        paper: "τ=-0.81 (day, city)",
+        expect_sign: -1.0,
+        class: None,
+    },
+    Finding {
+        left: "citibike.avg(duration-min)",
+        right: "weather.avg(snow-fall)",
+        paper: "τ=0.61 ρ=0.16 (hour, city)",
+        expect_sign: 1.0,
+        class: None,
+    },
+    Finding {
+        left: "citibike.unique",
+        right: "weather.avg(snow-depth)",
+        paper: "τ=-0.62 ρ=0.45 (day, city)",
+        expect_sign: -1.0,
+        class: None,
+    },
+    Finding {
+        left: "collisions.avg(motorists-injured)",
+        right: "weather.avg(precipitation)",
+        paper: "τ=0.90 ρ=0.95 (killed)",
+        expect_sign: 1.0,
+        class: None,
+    },
+    Finding {
+        left: "taxi.density",
+        right: "traffic-speed.avg(speed-kmh)",
+        paper: "τ=-0.90 ρ=0.65 (hour, city)",
+        expect_sign: -1.0,
+        class: None,
+    },
+    Finding {
+        left: "collisions.density",
+        right: "complaints-311.density",
+        paper: "τ=0.99 ρ=0.86 (hour, nbhd)",
+        expect_sign: 1.0,
+        class: None,
+    },
+    Finding {
+        left: "complaints-311.density",
+        right: "calls-911.density",
+        paper: "τ=0.92 ρ=0.27 (day, nbhd)",
+        expect_sign: 1.0,
+        class: None,
+    },
+    Finding {
+        left: "taxi.avg(fare)",
+        right: "gas-prices.avg(price)",
+        paper: "τ=1.0 ρ=0.5 (month, city)",
+        expect_sign: 1.0,
+        class: None,
+    },
+];
+
+fn best_match<'a>(
+    rels: &'a [Relationship],
+    f: &Finding,
+) -> Option<&'a Relationship> {
+    rels.iter()
+        .filter(|r| {
+            let l = r.left.to_string();
+            let rr = r.right.to_string();
+            ((l == f.left && rr == f.right) || (l == f.right && rr == f.left))
+                && f.class.is_none_or(|c| c == r.class)
+                && r.score() * f.expect_sign > 0.0
+        })
+        .max_by(|a, b| {
+            // Prefer significant, then largest |τ| with meaningful ρ.
+            (a.significant, a.score().abs() + a.strength())
+                .partial_cmp(&(b.significant, b.score().abs() + b.strength()))
+                .expect("finite")
+        })
+}
+
+/// Reproduces the Section 6.3 findings table.
+pub fn run(quick: bool) -> String {
+    let mut out = String::from("# Section 6.3 — interesting relationships\n\n");
+    let (_c, dp) = super::indexed(quick);
+    let clause = Clause::default()
+        .permutations(super::permutations(quick))
+        .include_insignificant();
+
+    let mut t = Table::new(&[
+        "relationship",
+        "paper",
+        "our best (sign-matching)",
+        "found",
+    ]);
+    let mut found_count = 0;
+    for f in FINDINGS {
+        let (d1, d2) = (
+            f.left.split('.').next().expect("dataset.function"),
+            f.right.split('.').next().expect("dataset.function"),
+        );
+        let rels = dp
+            .query(&RelationshipQuery::between(&[d1], &[d2]).with_clause(clause.clone()))
+            .expect("query succeeds");
+        match best_match(&rels, f) {
+            Some(r) => {
+                found_count += 1;
+                t.row(&[
+                    format!("{} ~ {}", f.left, f.right),
+                    f.paper.into(),
+                    format!(
+                        "τ={} ρ={} {} [{}]{}",
+                        fnum(r.score(), 2),
+                        fnum(r.strength(), 2),
+                        r.resolution,
+                        r.class.label(),
+                        if r.significant { "" } else { " (ns)" }
+                    ),
+                    "yes".into(),
+                ]);
+            }
+            None => {
+                t.row(&[
+                    format!("{} ~ {}", f.left, f.right),
+                    f.paper.into(),
+                    "-".into(),
+                    "NO".into(),
+                ]);
+            }
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nRecovered {found_count}/{} findings with matching sign.\n",
+        FINDINGS.len()
+    ));
+
+    // Spurious relationships that significance testing should prune
+    // (paper: tax ~ weather/311/911; bikes ~ tweets; 311 ~ speed).
+    out.push_str("\n## Spurious-candidate pruning\n");
+    let mut t2 = Table::new(&["pair", "candidates |τ|>=0.6", "surviving significance"]);
+    for (d1, d2) in [("citibike", "twitter"), ("complaints-311", "traffic-speed")] {
+        let all = dp
+            .query(
+                &RelationshipQuery::between(&[d1], &[d2])
+                    .with_clause(clause.clone().min_score(0.6)),
+            )
+            .expect("query succeeds");
+        let surviving = all.iter().filter(|r| r.significant).count();
+        t2.row(&[
+            format!("{d1} ~ {d2}"),
+            all.len().to_string(),
+            surviving.to_string(),
+        ]);
+    }
+    out.push_str(&t2.render());
+    out.push_str(
+        "\nPaper: high-score candidates between unrelated data sets (bike\n\
+         trips ~ tweets τ=0.87) are mostly random and fail the restricted\n\
+         Monte Carlo test.\n",
+    );
+    out
+}

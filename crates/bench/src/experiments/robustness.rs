@@ -1,0 +1,60 @@
+//! Figure 12 + Appendix Figures I–III — robustness to IQR-bounded noise
+//! for four taxi scalar functions.
+
+use crate::{fnum, Table};
+use polygamy_core::pipeline::field_features;
+use polygamy_core::relationship::evaluate_features;
+use polygamy_datagen::add_iqr_noise;
+use polygamy_stdata::{aggregate, AggregateKind, FunctionKind, TemporalResolution};
+
+/// Sweeps noise levels for density/unique/avg(miles)/avg(fare).
+pub fn run(quick: bool) -> String {
+    let mut out = String::from("# Figure 12 + App. I–III — robustness to noise\n\n");
+    out.push_str(
+        "Paper: score stays 1.0 up to ~2% noise and the relationship stays\n\
+         strong/significant at 10% (persistence-based thresholds absorb\n\
+         small extrema created by noise).\n\n",
+    );
+    let c = super::urban(quick);
+    let taxi = c.dataset("taxi").expect("taxi generated");
+    let adjacency = vec![vec![]];
+    let functions: Vec<(&str, FunctionKind)> = vec![
+        ("density", FunctionKind::Density),
+        ("unique", FunctionKind::Unique),
+        (
+            "avg(miles)",
+            FunctionKind::Attribute {
+                attr: taxi.attribute_index("miles").expect("attr"),
+                agg: AggregateKind::Mean,
+            },
+        ),
+        (
+            "avg(fare)",
+            FunctionKind::Attribute {
+                attr: taxi.attribute_index("fare").expect("attr"),
+                agg: AggregateKind::Mean,
+            },
+        ),
+    ];
+    let noise_levels = [0.0, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10];
+    for (name, kind) in functions {
+        out.push_str(&format!("## taxi.{name} (hour, city)\n"));
+        let field = aggregate(taxi, &c.geometry().city, TemporalResolution::Hour, kind, None)
+            .expect("aggregates");
+        let (clean, _, _) = field_features(&adjacency, &field);
+        let mut t = Table::new(&["noise %", "score τ", "strength ρ"]);
+        for &frac in &noise_levels {
+            let noisy_field = add_iqr_noise(&field, frac, 0xF16_12 ^ (frac * 1000.0) as u64);
+            let (noisy, _, _) = field_features(&adjacency, &noisy_field);
+            let m = evaluate_features(&clean.salient, &noisy.salient);
+            t.row(&[
+                format!("{:.0}", frac * 100.0),
+                fnum(m.score, 3),
+                fnum(m.strength, 3),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,66 @@
+//! Framework-level errors.
+
+use std::fmt;
+
+/// Errors raised by the Data Polygamy framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The substrate rejected the data.
+    Data(polygamy_stdata::Error),
+    /// A data set name was not found in the index.
+    UnknownDataset(String),
+    /// A function reference was not found in the index.
+    UnknownFunction(String),
+    /// The index has not been built yet.
+    IndexNotBuilt,
+    /// A query referenced the same data set on both sides.
+    SelfRelationship(String),
+    /// Index (de)serialisation failed.
+    Serialization(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Data(e) => write!(f, "data error: {e}"),
+            Error::UnknownDataset(name) => write!(f, "unknown data set: {name}"),
+            Error::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            Error::IndexNotBuilt => write!(f, "index not built; call build_index() first"),
+            Error::SelfRelationship(name) => {
+                write!(f, "relationship of {name} with itself is not defined")
+            }
+            Error::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<polygamy_stdata::Error> for Error {
+    fn from(e: polygamy_stdata::Error) -> Self {
+        Error::Data(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::UnknownDataset("x".into()).to_string().contains("x"));
+        assert!(Error::IndexNotBuilt.to_string().contains("build_index"));
+        let wrapped = Error::from(polygamy_stdata::Error::EmptyDomain);
+        assert!(wrapped.to_string().contains("data error"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The end-to-end Data Polygamy framework (paper Section 5).
+//!
+//! [`DataPolygamy`] owns the city geometry, the raw data sets, the built
+//! index and a query cache. Indexing runs the scalar-function and
+//! feature-identification jobs per data set; queries run the relationship
+//! operator over data set pairs with result caching.
+
+use crate::error::{Error, Result};
+use crate::index::{DatasetEntry, PolygamyIndex};
+use crate::operator::relation;
+use crate::pipeline::{compute_scalar_functions, identify_features};
+use crate::query::RelationshipQuery;
+use crate::relationship::Relationship;
+use crate::significance::PermutationScheme;
+use parking_lot::Mutex;
+use polygamy_mapreduce::Cluster;
+use polygamy_stats::permutation::MonteCarlo;
+use polygamy_stdata::{Dataset, SpatialPartition, SpatialResolution};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The polygon partitions of the city at each evaluable spatial resolution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CityGeometry {
+    /// Zip-code partition (optional).
+    pub zip: Option<SpatialPartition>,
+    /// Neighborhood partition (optional).
+    pub neighborhood: Option<SpatialPartition>,
+    /// The whole-city partition (always present; single region).
+    pub city: SpatialPartition,
+}
+
+impl CityGeometry {
+    /// Geometry with only the city-scale region (1-D functions only).
+    pub fn city_only(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Self {
+            zip: None,
+            neighborhood: None,
+            city: SpatialPartition::city(x0, y0, x1, y1),
+        }
+    }
+
+    /// Partition for a spatial resolution (None for GPS — raw coordinates
+    /// are never evaluated directly).
+    pub fn partition(&self, r: SpatialResolution) -> Option<&SpatialPartition> {
+        match r {
+            SpatialResolution::Gps => None,
+            SpatialResolution::Zip => self.zip.as_ref(),
+            SpatialResolution::Neighborhood => self.neighborhood.as_ref(),
+            SpatialResolution::City => Some(&self.city),
+        }
+    }
+
+    /// Region adjacency for a spatial resolution.
+    pub fn adjacency(&self, r: SpatialResolution) -> Option<&[Vec<u32>]> {
+        self.partition(r).map(|p| p.adjacency.as_slice())
+    }
+}
+
+/// Framework configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Execution environment for the parallel jobs.
+    pub cluster: Cluster,
+    /// Monte Carlo defaults (clauses can override count/alpha per query).
+    pub monte_carlo: MonteCarlo,
+    /// Restricted permutation family.
+    pub scheme: PermutationScheme,
+    /// Base RNG seed (per-pair seeds derive deterministically from it).
+    pub seed: u64,
+    /// Keep scalar fields in the index (needed for custom-threshold
+    /// clauses and the robustness/baseline experiments).
+    pub keep_fields: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cluster: Cluster::host(),
+            monte_carlo: MonteCarlo::default(),
+            scheme: PermutationScheme::Paper,
+            seed: 0xDA7A_9A17,
+            keep_fields: true,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration for fast deterministic tests: 2 workers, 80
+    /// permutations.
+    pub fn fast_test() -> Self {
+        Self {
+            cluster: Cluster::local(2),
+            monte_carlo: MonteCarlo {
+                permutations: 80,
+                ..MonteCarlo::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// Timing breakdown of one data set's indexing (Figure 8's quantities).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetBuildStats {
+    /// Data set name.
+    pub name: String,
+    /// Seconds in the scalar-function-computation job.
+    pub scalar_secs: f64,
+    /// Seconds in the feature-identification job.
+    pub feature_secs: f64,
+    /// (function, resolution) entries produced.
+    pub n_functions: usize,
+}
+
+/// Report returned by [`DataPolygamy::build_index`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IndexBuildReport {
+    /// Per-data-set stats, in indexing order.
+    pub per_dataset: Vec<DatasetBuildStats>,
+    /// Total wall seconds.
+    pub total_secs: f64,
+}
+
+/// The framework facade.
+pub struct DataPolygamy {
+    geometry: CityGeometry,
+    config: Config,
+    datasets: Vec<Dataset>,
+    index: Option<PolygamyIndex>,
+    cache: Mutex<HashMap<(usize, usize, u64), Arc<Vec<Relationship>>>>,
+}
+
+impl DataPolygamy {
+    /// Creates an empty framework over a city geometry.
+    pub fn new(geometry: CityGeometry, config: Config) -> Self {
+        Self {
+            geometry,
+            config,
+            datasets: Vec::new(),
+            index: None,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a data set (invalidates any built index).
+    pub fn add_dataset(&mut self, dataset: Dataset) -> &mut Self {
+        self.datasets.push(dataset);
+        self.index = None;
+        self.cache.lock().clear();
+        self
+    }
+
+    /// Names of registered data sets, in insertion order.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.datasets.iter().map(|d| d.meta.name.as_str()).collect()
+    }
+
+    /// Immutable access to a registered raw data set.
+    pub fn dataset(&self, name: &str) -> Option<&Dataset> {
+        self.datasets.iter().find(|d| d.meta.name == name)
+    }
+
+    /// The city geometry.
+    pub fn geometry(&self) -> &CityGeometry {
+        &self.geometry
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Runs the two indexing jobs over every registered data set.
+    pub fn build_index(&mut self) -> IndexBuildReport {
+        let total_start = Instant::now();
+        let mut index = PolygamyIndex::default();
+        let mut report = IndexBuildReport::default();
+        for (di, dataset) in self.datasets.iter().enumerate() {
+            let t0 = Instant::now();
+            let fields = compute_scalar_functions(self.config.cluster, &self.geometry, dataset);
+            let scalar_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let entries = identify_features(
+                self.config.cluster,
+                &self.geometry,
+                di,
+                fields,
+                self.config.keep_fields,
+            );
+            let feature_secs = t1.elapsed().as_secs_f64();
+            let n_specs = crate::function::FunctionSpec::enumerate(dataset).len();
+            report.per_dataset.push(DatasetBuildStats {
+                name: dataset.meta.name.clone(),
+                scalar_secs,
+                feature_secs,
+                n_functions: entries.len(),
+            });
+            index.datasets.push(DatasetEntry {
+                meta: dataset.meta.clone(),
+                n_records: dataset.len(),
+                raw_bytes: dataset.approx_bytes(),
+                n_specs,
+            });
+            index.functions.extend(entries);
+        }
+        report.total_secs = total_start.elapsed().as_secs_f64();
+        self.index = Some(index);
+        self.cache.lock().clear();
+        report
+    }
+
+    /// The built index.
+    pub fn index(&self) -> Result<&PolygamyIndex> {
+        self.index.as_ref().ok_or(Error::IndexNotBuilt)
+    }
+
+    /// `relation(D1, D2)` with the default clause.
+    pub fn relation(&self, d1: &str, d2: &str) -> Result<Vec<Relationship>> {
+        self.query(&RelationshipQuery::between(&[d1], &[d2]))
+    }
+
+    /// Evaluates a relationship query.
+    ///
+    /// Pairs are deduplicated (the operator is symmetric up to swapping
+    /// left/right); per-pair results are cached keyed by the clause.
+    pub fn query(&self, query: &RelationshipQuery) -> Result<Vec<Relationship>> {
+        let index = self.index()?;
+        let resolve = |names: &Option<Vec<String>>| -> Result<Vec<usize>> {
+            match names {
+                None => Ok((0..index.datasets.len()).collect()),
+                Some(list) => list.iter().map(|n| index.dataset_index(n)).collect(),
+            }
+        };
+        let left = resolve(&query.left)?;
+        let right = resolve(&query.right)?;
+        let clause_key = query.clause.cache_key();
+
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for &a in &left {
+            for &b in &right {
+                if a == b {
+                    continue;
+                }
+                // Canonicalise so (a, b) and (b, a) share cache entries;
+                // results are reported with the canonical orientation.
+                let pair = (a.min(b), a.max(b));
+                if !pairs.contains(&pair) {
+                    pairs.push(pair);
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        for (a, b) in pairs {
+            let key = (a, b, clause_key);
+            let cached = self.cache.lock().get(&key).cloned();
+            let rels = match cached {
+                Some(r) => r,
+                None => {
+                    let r = Arc::new(relation(
+                        index,
+                        &self.geometry,
+                        &self.config,
+                        a,
+                        b,
+                        &query.clause,
+                    ));
+                    self.cache.lock().insert(key, Arc::clone(&r));
+                    r
+                }
+            };
+            out.extend(rels.iter().cloned());
+        }
+        // Deterministic presentation: strongest scores first, ties by name.
+        out.sort_by(|x, y| {
+            y.score()
+                .abs()
+                .partial_cmp(&x.score().abs())
+                .expect("scores are finite")
+                .then_with(|| x.left.to_string().cmp(&y.left.to_string()))
+                .then_with(|| x.right.to_string().cmp(&y.right.to_string()))
+                .then_with(|| x.resolution.label().cmp(&y.resolution.label()))
+                .then_with(|| x.class.label().cmp(&y.class.label()))
+        });
+        Ok(out)
+    }
+
+    /// Number of cached per-pair results (diagnostics/tests).
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Clause;
+    use polygamy_stdata::{AttributeMeta, DatasetBuilder, DatasetMeta, GeoPoint,
+        TemporalResolution};
+
+    fn tiny_dataset(name: &str, bump_at: i64) -> Dataset {
+        let meta = DatasetMeta {
+            name: name.into(),
+            spatial_resolution: SpatialResolution::City,
+            temporal_resolution: TemporalResolution::Hour,
+            description: String::new(),
+        };
+        let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("x"));
+        for h in 0..600i64 {
+            let v = if h == bump_at { 50.0 } else { (h % 24) as f64 * 0.01 };
+            b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lifecycle_and_errors() {
+        let mut dp = DataPolygamy::new(CityGeometry::city_only(0.0, 0.0, 1.0, 1.0), Config::fast_test());
+        assert!(dp.index().is_err());
+        dp.add_dataset(tiny_dataset("a", 100));
+        dp.add_dataset(tiny_dataset("b", 100));
+        let report = dp.build_index();
+        assert_eq!(report.per_dataset.len(), 2);
+        assert!(dp.index().is_ok());
+        assert_eq!(dp.dataset_names(), vec!["a", "b"]);
+        assert!(dp.dataset("a").is_some());
+        assert!(dp.dataset("zzz").is_none());
+        // Unknown dataset in query.
+        let err = dp.relation("a", "nope").unwrap_err();
+        assert!(matches!(err, Error::UnknownDataset(_)));
+        // Adding data invalidates the index.
+        dp.add_dataset(tiny_dataset("c", 50));
+        assert!(dp.index().is_err());
+    }
+
+    #[test]
+    fn query_caching() {
+        let mut dp = DataPolygamy::new(CityGeometry::city_only(0.0, 0.0, 1.0, 1.0), Config::fast_test());
+        dp.add_dataset(tiny_dataset("a", 100));
+        dp.add_dataset(tiny_dataset("b", 100));
+        dp.build_index();
+        assert_eq!(dp.cache_len(), 0);
+        let q = RelationshipQuery::all()
+            .with_clause(Clause::default().permutations(40).include_insignificant());
+        let r1 = dp.query(&q).unwrap();
+        assert_eq!(dp.cache_len(), 1);
+        let r2 = dp.query(&q).unwrap();
+        assert_eq!(dp.cache_len(), 1);
+        assert_eq!(r1, r2);
+        // Different clause misses the cache.
+        let q2 = RelationshipQuery::all()
+            .with_clause(Clause::default().permutations(41).include_insignificant());
+        dp.query(&q2).unwrap();
+        assert_eq!(dp.cache_len(), 2);
+    }
+
+    #[test]
+    fn symmetric_pairs_share_cache() {
+        let mut dp = DataPolygamy::new(CityGeometry::city_only(0.0, 0.0, 1.0, 1.0), Config::fast_test());
+        dp.add_dataset(tiny_dataset("a", 100));
+        dp.add_dataset(tiny_dataset("b", 100));
+        dp.build_index();
+        let c = Clause::default().permutations(40).include_insignificant();
+        dp.query(&RelationshipQuery::between(&["a"], &["b"]).with_clause(c.clone()))
+            .unwrap();
+        dp.query(&RelationshipQuery::between(&["b"], &["a"]).with_clause(c))
+            .unwrap();
+        assert_eq!(dp.cache_len(), 1);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let g = CityGeometry::city_only(0.0, 0.0, 2.0, 2.0);
+        assert!(g.partition(SpatialResolution::City).is_some());
+        assert!(g.partition(SpatialResolution::Zip).is_none());
+        assert!(g.partition(SpatialResolution::Gps).is_none());
+        assert_eq!(g.adjacency(SpatialResolution::City).unwrap().len(), 1);
+    }
+}

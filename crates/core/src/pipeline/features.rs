@@ -1,0 +1,116 @@
+//! Feature Identification job (paper Sections 3 + 5.2, Appendix C).
+//!
+//! Per scalar function: build the domain graph, compute join and split
+//! trees, derive per-seasonal-interval thresholds from persistence, and
+//! extract salient + extreme feature sets. Each function is independent —
+//! a parallel map over [`polygamy_mapreduce`].
+
+use crate::framework::CityGeometry;
+use crate::function::FunctionSpec;
+use crate::index::FunctionEntry;
+use polygamy_mapreduce::{par_map, Cluster};
+use polygamy_stdata::temporal::SeasonalInterval;
+use polygamy_stdata::ScalarField;
+use polygamy_topology::{
+    seasonal_thresholds, DomainGraph, FeatureSets, MergeTree, SeasonalThresholds,
+};
+
+/// Computes trees, thresholds and features for one scalar field.
+///
+/// Returns the feature sets, the thresholds, and the merge-tree size
+/// (join + split critical points). This is the reusable unit behind both
+/// the indexing job and the ad-hoc experiments (robustness, persistence
+/// diagrams).
+pub fn field_features(
+    spatial_adjacency: &[Vec<u32>],
+    field: &ScalarField,
+) -> (FeatureSets, SeasonalThresholds, usize) {
+    let graph = DomainGraph::new(spatial_adjacency, field.n_steps);
+    let join = MergeTree::join(&graph, &field.values);
+    let split = MergeTree::split(&graph, &field.values);
+    let season = SeasonalInterval::for_resolution(field.resolution.temporal);
+    let interval_of_step: Vec<i64> = (0..field.n_steps)
+        .map(|z| season.interval_of(field.step_start(z)))
+        .collect();
+    let thresholds = seasonal_thresholds(&join, &split, field.n_regions, &interval_of_step);
+    let features = FeatureSets::compute(&graph, &field.values, &join, &split, &thresholds);
+    let tree_nodes = join.node_count() + split.node_count();
+    (features, thresholds, tree_nodes)
+}
+
+/// Runs feature identification for a batch of scalar functions, producing
+/// index entries.
+pub fn identify_features(
+    cluster: Cluster,
+    geometry: &CityGeometry,
+    dataset_index: usize,
+    fields: Vec<(FunctionSpec, ScalarField)>,
+    keep_fields: bool,
+) -> Vec<FunctionEntry> {
+    par_map(cluster, fields, |(spec, field)| {
+        let adjacency = geometry
+            .adjacency(field.resolution.spatial)
+            .expect("field was computed from a geometry partition");
+        let (features, thresholds, tree_nodes) = field_features(adjacency, &field);
+        FunctionEntry {
+            spec,
+            dataset_index,
+            resolution: field.resolution,
+            n_regions: field.n_regions,
+            start_bucket: field.start_bucket,
+            n_steps: field.n_steps,
+            features,
+            thresholds,
+            field: keep_fields.then_some(field),
+            tree_nodes,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygamy_stdata::{Resolution, SpatialResolution, TemporalResolution};
+
+    fn spiky_field(n_steps: usize) -> ScalarField {
+        let res = Resolution::new(SpatialResolution::City, TemporalResolution::Hour);
+        let mut values = vec![0.0; n_steps];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = ((i % 24) as f64 / 24.0).sin();
+        }
+        values[n_steps / 2] = 50.0;
+        values[n_steps / 4] = -50.0;
+        ScalarField::time_series(res, 0, values)
+    }
+
+    #[test]
+    fn field_features_finds_spikes() {
+        let field = spiky_field(24 * 60);
+        let (features, thresholds, tree_nodes) = field_features(&[vec![]], &field);
+        assert!(features.salient.pos.get(24 * 30));
+        assert!(features.salient.neg.get(24 * 15));
+        assert!(tree_nodes > 2);
+        // Monthly seasonal intervals for hourly data: 60 days ≈ 2-3 months.
+        assert!(thresholds.interval_ids.len() >= 2);
+    }
+
+    #[test]
+    fn identify_features_builds_entries() {
+        use crate::framework::CityGeometry;
+        let geometry = CityGeometry::city_only(0.0, 0.0, 1.0, 1.0);
+        let fields = vec![
+            (FunctionSpec::density("d"), spiky_field(100)),
+            (FunctionSpec::density("d"), spiky_field(200)),
+        ];
+        let entries = identify_features(Cluster::local(2), &geometry, 3, fields, true);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].dataset_index, 3);
+        assert_eq!(entries[0].n_steps, 100);
+        assert!(entries[0].field.is_some());
+        let entries_nofield =
+            identify_features(Cluster::local(2), &geometry, 3, vec![
+                (FunctionSpec::density("d"), spiky_field(50)),
+            ], false);
+        assert!(entries_nofield[0].field.is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Relationship evaluation: score τ and strength ρ (paper Section 2.2–2.3).
+//!
+//! Two functions are *feature-related* at a spatio-temporal point when the
+//! point is a feature of both (Definition 9); the relation is *positive*
+//! when the feature signs agree and *negative* when they disagree
+//! (Definitions 10–11). Over the aligned domain:
+//!
+//! * **score** `τ = (#p − #n) / |Σ|` (Eq. 1) — +1 all positive, −1 all
+//!   negative;
+//! * **strength** `ρ = F1` (Eq. 2) — precision `|Σ|/|Σ1|` (how often a
+//!   feature in f1 co-occurs with one in f2), recall `|Σ|/|Σ2|`.
+//!
+//! All set algebra happens on packed bit vectors (paper Appendix C).
+
+use crate::function::FunctionRef;
+use polygamy_stdata::Resolution;
+use polygamy_topology::{FeatureClass, FeatureSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Raw counts and derived measures of one candidate relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelationshipMeasures {
+    /// `#p` — positively related points.
+    pub n_pos: usize,
+    /// `#n` — negatively related points.
+    pub n_neg: usize,
+    /// `|Σ1|` — feature points of the first function.
+    pub n_left: usize,
+    /// `|Σ2|` — feature points of the second function.
+    pub n_right: usize,
+    /// Relationship score τ ∈ [−1, 1]; 0 when `|Σ| = 0`.
+    pub score: f64,
+    /// Relationship strength ρ ∈ [0, 1] (F1).
+    pub strength: f64,
+}
+
+impl RelationshipMeasures {
+    /// `|Σ| = #p + #n` — feature-related points.
+    pub fn related_count(&self) -> usize {
+        self.n_pos + self.n_neg
+    }
+}
+
+/// Evaluates τ and ρ between two aligned feature sets.
+///
+/// When the thresholds are non-degenerate, positive/negative sets within
+/// each function are disjoint and `#p = |P1∩P2| + |N1∩N2|`,
+/// `#n = |P1∩N2| + |N1∩P2|` decompose Σ exactly. Degenerate thresholds
+/// (θ⁻ ≥ θ⁺, possible on pathological functions) can make a point both a
+/// positive and a negative feature; the strength therefore uses the true
+/// point-set intersection `|Σ| = |(P1∪N1) ∩ (P2∪N2)|`, which keeps
+/// precision and recall in `[0, 1]` unconditionally.
+pub fn evaluate_features(left: &FeatureSet, right: &FeatureSet) -> RelationshipMeasures {
+    let pp = left.pos.and_count(&right.pos);
+    let nn = left.neg.and_count(&right.neg);
+    let pn = left.pos.and_count(&right.neg);
+    let np = left.neg.and_count(&right.pos);
+    let n_pos = pp + nn;
+    let n_neg = pn + np;
+    let score = if n_pos + n_neg == 0 {
+        0.0
+    } else {
+        (n_pos as f64 - n_neg as f64) / (n_pos + n_neg) as f64
+    };
+    // Point-set sizes for precision/recall.
+    let all_left = left.all();
+    let all_right = right.all();
+    let sigma = all_left.and_count(&all_right);
+    let n_left = all_left.count_ones();
+    let n_right = all_right.count_ones();
+    let strength = if sigma == 0 || n_left == 0 || n_right == 0 {
+        0.0
+    } else {
+        let precision = sigma as f64 / n_left as f64;
+        let recall = sigma as f64 / n_right as f64;
+        2.0 * precision * recall / (precision + recall)
+    };
+    RelationshipMeasures {
+        n_pos,
+        n_neg,
+        n_left,
+        n_right,
+        score,
+        strength,
+    }
+}
+
+/// A discovered relationship, as returned by queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// First function.
+    pub left: FunctionRef,
+    /// Second function.
+    pub right: FunctionRef,
+    /// Resolution at which the relationship holds.
+    pub resolution: Resolution,
+    /// Feature class it was evaluated over.
+    pub class: FeatureClass,
+    /// The measures.
+    pub measures: RelationshipMeasures,
+    /// Monte Carlo p-value (1.0 when the significance test was skipped by
+    /// a clause pre-filter).
+    pub p_value: f64,
+    /// `p ≤ α` under the query's significance level.
+    pub significant: bool,
+}
+
+impl Relationship {
+    /// Score τ shortcut.
+    pub fn score(&self) -> f64 {
+        self.measures.score
+    }
+
+    /// Strength ρ shortcut.
+    pub fn strength(&self) -> f64 {
+        self.measures.strength
+    }
+}
+
+impl fmt::Display for Relationship {
+    /// Writes the paper's reporting style, e.g.
+    /// `taxi.density ~ weather.avg(wind) @ (hour, city) [salient]: τ=-0.62 ρ=0.75 p=0.003`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ~ {} @ {} [{}]: τ={:.2} ρ={:.2} p={:.3}{}",
+            self.left,
+            self.right,
+            self.resolution,
+            self.class.label(),
+            self.measures.score,
+            self.measures.strength,
+            self.p_value,
+            if self.significant { "" } else { " (not significant)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygamy_topology::BitVec;
+
+    fn fs(n: usize, pos: &[usize], neg: &[usize]) -> FeatureSet {
+        let mut p = BitVec::zeros(n);
+        let mut g = BitVec::zeros(n);
+        for &i in pos {
+            p.set(i);
+        }
+        for &i in neg {
+            g.set(i);
+        }
+        FeatureSet { pos: p, neg: g }
+    }
+
+    #[test]
+    fn perfectly_positive() {
+        let a = fs(10, &[1, 2], &[7]);
+        let b = fs(10, &[1, 2], &[7]);
+        let m = evaluate_features(&a, &b);
+        assert_eq!(m.n_pos, 3);
+        assert_eq!(m.n_neg, 0);
+        assert_eq!(m.score, 1.0);
+        assert_eq!(m.strength, 1.0);
+    }
+
+    #[test]
+    fn perfectly_negative() {
+        // Positive features of a coincide with negative features of b.
+        let a = fs(10, &[1, 2], &[7]);
+        let b = fs(10, &[7], &[1, 2]);
+        let m = evaluate_features(&a, &b);
+        assert_eq!(m.n_pos, 0);
+        assert_eq!(m.n_neg, 3);
+        assert_eq!(m.score, -1.0);
+        assert_eq!(m.strength, 1.0);
+    }
+
+    #[test]
+    fn mixed_score() {
+        let a = fs(10, &[1, 2, 3], &[]);
+        let b = fs(10, &[1], &[2]);
+        let m = evaluate_features(&a, &b);
+        assert_eq!(m.n_pos, 1);
+        assert_eq!(m.n_neg, 1);
+        assert_eq!(m.score, 0.0);
+        // |Σ|=2, |Σ1|=3, |Σ2|=2: precision 2/3, recall 1 → F1 = 0.8.
+        assert!((m.strength - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_features_score_zero() {
+        let a = fs(10, &[1], &[]);
+        let b = fs(10, &[5], &[]);
+        let m = evaluate_features(&a, &b);
+        assert_eq!(m.related_count(), 0);
+        assert_eq!(m.score, 0.0);
+        assert_eq!(m.strength, 0.0);
+    }
+
+    #[test]
+    fn empty_side() {
+        let a = fs(10, &[], &[]);
+        let b = fs(10, &[1], &[2]);
+        let m = evaluate_features(&a, &b);
+        assert_eq!(m.score, 0.0);
+        assert_eq!(m.strength, 0.0);
+    }
+
+    #[test]
+    fn strength_tracks_overlap_frequency() {
+        // Weak: only 1 of 5 left features co-occurs.
+        let a = fs(100, &(0..5).collect::<Vec<_>>(), &[]);
+        let b = fs(100, &[0], &[]);
+        let weak = evaluate_features(&a, &b);
+        // Strong: all 5 co-occur.
+        let c = fs(100, &(0..5).collect::<Vec<_>>(), &[]);
+        let strong = evaluate_features(&a, &c);
+        assert!(weak.strength < strong.strength);
+        assert_eq!(strong.strength, 1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let rel = Relationship {
+            left: FunctionRef { dataset: "taxi".into(), function: "density".into() },
+            right: FunctionRef { dataset: "weather".into(), function: "avg(wind)".into() },
+            resolution: Resolution::new(
+                polygamy_stdata::SpatialResolution::City,
+                polygamy_stdata::TemporalResolution::Hour,
+            ),
+            class: FeatureClass::Salient,
+            measures: RelationshipMeasures {
+                n_pos: 1,
+                n_neg: 3,
+                n_left: 5,
+                n_right: 5,
+                score: -0.5,
+                strength: 0.8,
+            },
+            p_value: 0.002,
+            significant: true,
+        };
+        let s = rel.to_string();
+        assert!(s.contains("taxi.density"), "{s}");
+        assert!(s.contains("(hour, city)"), "{s}");
+        assert!(s.contains("τ=-0.50"), "{s}");
+        assert!(!s.contains("not significant"), "{s}");
+    }
+}

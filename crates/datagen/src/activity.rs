@@ -1,0 +1,709 @@
+//! Activity data sets: the eight non-weather members of the NYC-Urban
+//! analogue (taxi, Citi Bike, vehicle collisions, 311, 911, traffic speed,
+//! gas prices, Twitter).
+//!
+//! Every generator is a pure function of the city model, the weather
+//! trace, the planted event calendar and a seed, so the couplings between
+//! data sets flow only through those shared inputs — exactly the causal
+//! structure the framework is supposed to recover:
+//!
+//! * **taxi** — diurnal/weekly demand, suppressed by rain and crushed by
+//!   hurricanes; fares carry a rain surge and a gas-price drift; medallion
+//!   keys thin out in bad weather (unique-count couplings);
+//! * **bike** — commuter double-peak, strongly weather-suppressed; trip
+//!   duration stretches in snow; station keys idle as snow accumulates;
+//! * **collisions** — frequency tracks traffic volume (not rain), but
+//!   severity attributes (injured/killed) worsen with rain — reproducing
+//!   the paper's "severity, not frequency" finding;
+//! * **311/911** — share latent per-(neighborhood, day) incident bursts
+//!   with collisions (common cause);
+//! * **traffic** — speed anti-correlated with taxi volume, reduced by low
+//!   visibility and snow;
+//! * **gas** — weekly random-walk price whose level leaks into taxi fares;
+//! * **twitter** — diurnal but otherwise independent: the spurious-pair
+//!   bait that significance testing must prune.
+
+use crate::city::CityModel;
+use crate::events::{EventKind, UrbanEvents};
+use crate::util::{gaussian, poisson, weighted_index, Ar1};
+use crate::weather::WeatherTrace;
+use polygamy_stdata::temporal::{date_of, SECS_PER_DAY, SECS_PER_HOUR};
+use polygamy_stdata::{
+    AttributeMeta, Dataset, DatasetBuilder, DatasetMeta, SpatialResolution, TemporalResolution,
+    Timestamp,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hour-of-day demand multiplier for taxi-like activity (0..24).
+fn taxi_diurnal(hod: f64) -> f64 {
+    // Night trough ~4am, morning rise, evening peak ~19h.
+    let morning = (-((hod - 9.0) / 3.0).powi(2)).exp();
+    let evening = (-((hod - 19.0) / 3.5).powi(2)).exp();
+    0.2 + 0.5 * morning + 0.9 * evening
+}
+
+/// Commuter double-peak for bikes.
+fn bike_diurnal(hod: f64) -> f64 {
+    let am = (-((hod - 8.5) / 1.8).powi(2)).exp();
+    let pm = (-((hod - 17.5) / 2.0).powi(2)).exp();
+    0.08 + am + pm
+}
+
+/// Day-of-week multiplier (Monday = 0).
+fn weekday_factor(weekday: u8) -> f64 {
+    match weekday {
+        5 => 0.9,  // Saturday
+        6 => 0.8,  // Sunday
+        _ => 1.0,
+    }
+}
+
+/// Deterministic per-(neighborhood, day) incident burst shared by the
+/// collisions/311/911 generators (the common cause behind their mutual
+/// relationships). Returns 1.0 normally, 3.0 on burst days.
+fn incident_burst(seed: u64, neighborhood: usize, day: i64) -> f64 {
+    let mut h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(neighborhood as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(day as u64);
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 29;
+    if h % 23 == 0 {
+        3.0
+    } else {
+        1.0
+    }
+}
+
+/// Expected city-wide taxi trips for one hour (before `scale`).
+pub fn taxi_lambda(trace: &WeatherTrace, events: &UrbanEvents, ts: Timestamp) -> f64 {
+    let w = trace.at(ts);
+    let hod = (ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64;
+    let weekday = date_of(ts).weekday();
+    let rain = (w.precipitation / 8.0).min(1.0);
+    let snow = (w.snow_fall / 4.0).min(1.0);
+    let hurricane = events.intensity(EventKind::Hurricane, ts);
+    let holiday = events.intensity(EventKind::Holiday, ts);
+    60.0 * taxi_diurnal(hod)
+        * weekday_factor(weekday)
+        * (1.0 - 0.45 * rain)
+        * (1.0 - 0.35 * snow)
+        * (1.0 - 0.94 * hurricane)
+        * (1.0 - 0.55 * holiday)
+}
+
+/// Weekly gas-price trace (random walk with a slow seasonal drift).
+#[derive(Debug, Clone)]
+pub struct GasTrace {
+    /// First week bucket's start timestamp.
+    pub start: Timestamp,
+    /// One price per week (USD/gallon).
+    pub weekly: Vec<f64>,
+}
+
+impl GasTrace {
+    /// Simulates `n_weeks` starting at the week containing `start`.
+    pub fn generate(start: Timestamp, n_weeks: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let week0 = TemporalResolution::Week.bucket_of(start);
+        let aligned = TemporalResolution::Week.bucket_start(week0);
+        let mut price = 3.4;
+        let mut weekly = Vec::with_capacity(n_weeks);
+        for w in 0..n_weeks {
+            let seasonal = 0.15 * ((w as f64 / 52.0) * std::f64::consts::TAU).sin();
+            price = (price + 0.03 * gaussian(&mut rng) + 0.004).clamp(2.2, 5.2);
+            weekly.push(price + seasonal);
+        }
+        Self { start: aligned, weekly }
+    }
+
+    /// Price at a timestamp (clamped).
+    pub fn price_at(&self, ts: Timestamp) -> f64 {
+        let w0 = TemporalResolution::Week.bucket_of(self.start);
+        let w = TemporalResolution::Week.bucket_of(ts) - w0;
+        let idx = w.clamp(0, self.weekly.len() as i64 - 1) as usize;
+        self.weekly[idx]
+    }
+
+    /// Materialises the gas-prices data set (city/week native).
+    pub fn dataset(&self, city: &CityModel) -> Dataset {
+        let meta = DatasetMeta {
+            name: "gas-prices".into(),
+            spatial_resolution: SpatialResolution::City,
+            temporal_resolution: TemporalResolution::Week,
+            description: "Average synthetic gasoline price (USD/gallon)".into(),
+        };
+        let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("price"));
+        let center = city.center();
+        let w0 = TemporalResolution::Week.bucket_of(self.start);
+        for (i, &p) in self.weekly.iter().enumerate() {
+            let ts = TemporalResolution::Week.bucket_start(w0 + i as i64) + 12 * SECS_PER_HOUR;
+            b.push(center, ts, &[p]).expect("schema matches");
+        }
+        b.build().expect("gas dataset builds")
+    }
+}
+
+/// Taxi trips (GPS/second native; medallion keys; fare/miles/tip/duration).
+pub fn taxi_dataset(
+    city: &CityModel,
+    trace: &WeatherTrace,
+    events: &UrbanEvents,
+    gas: &GasTrace,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    let meta = DatasetMeta {
+        name: "taxi".into(),
+        spatial_resolution: SpatialResolution::Gps,
+        temporal_resolution: TemporalResolution::Hour,
+        description: "Synthetic taxi trip records (TLC analogue)".into(),
+    };
+    let mut b = DatasetBuilder::new(meta)
+        .attribute(AttributeMeta::named("fare"))
+        .attribute(AttributeMeta::named("miles"))
+        .attribute(AttributeMeta::named("tip"))
+        .attribute(AttributeMeta::named("duration-min"))
+        .with_keys();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let fleet = 400usize;
+    let n_hours = trace.len();
+    for h in 0..n_hours {
+        let ts = trace.start + h as i64 * SECS_PER_HOUR;
+        let w = trace.at(ts);
+        let lambda = taxi_lambda(trace, events, ts) * scale;
+        let n_trips = poisson(&mut rng, lambda);
+        // Bad weather thins the active fleet (unique-count couplings).
+        let rain = (w.precipitation / 8.0).min(1.0);
+        let fog = 1.0 - w.visibility / 10.0;
+        let snow_gr = (w.snow_depth / 12.0).min(1.0);
+        let hurricane = events.intensity(EventKind::Hurricane, ts);
+        let active = ((fleet as f64)
+            * (1.0 - 0.5 * rain)
+            * (1.0 - 0.35 * fog)
+            * (1.0 - 0.45 * snow_gr)
+            * (1.0 - 0.9 * hurricane))
+            .max(4.0) as u64;
+        let surge = 1.0 + 0.45 * rain;
+        let gas_price = gas.price_at(ts);
+        for _ in 0..n_trips {
+            let nbhd = city.sample_neighborhood(&mut rng);
+            let pickup = city.sample_point(&mut rng, nbhd);
+            let miles = (gaussian(&mut rng).abs() * 2.2 + 0.8).min(25.0);
+            // The metered per-mile rate tracks gas prices (paper Appendix E.2:
+            // fare ~ gas price at monthly resolution).
+            let fare = (2.0 + 0.6 * gas_price + 2.4 * miles * (0.55 + 0.35 * gas_price / 3.4)) * surge;
+            let tip = fare * (0.12 + 0.05 * rng.gen::<f64>());
+            let congestion = 1.0 + 0.8 * taxi_diurnal((ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64)
+                + 0.4 * fog;
+            let duration = miles / 16.0 * 60.0 * congestion;
+            let medallion = rng.gen_range(0..active);
+            let t = ts + rng.gen_range(0..SECS_PER_HOUR);
+            b.push_keyed(medallion, pickup, t, &[fare, miles, tip, duration])
+                .expect("schema matches");
+        }
+    }
+    b.build().expect("taxi dataset builds")
+}
+
+/// Citi Bike trips (GPS/second native; station keys; duration/distance).
+pub fn bike_dataset(
+    city: &CityModel,
+    trace: &WeatherTrace,
+    events: &UrbanEvents,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    let meta = DatasetMeta {
+        name: "citibike".into(),
+        spatial_resolution: SpatialResolution::Gps,
+        temporal_resolution: TemporalResolution::Hour,
+        description: "Synthetic bike-share trips (Citi Bike analogue)".into(),
+    };
+    let mut b = DatasetBuilder::new(meta)
+        .attribute(AttributeMeta::named("duration-min"))
+        .attribute(AttributeMeta::named("distance-km"))
+        .with_keys();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let stations_per_nbhd = 3u64;
+    for h in 0..trace.len() {
+        let ts = trace.start + h as i64 * SECS_PER_HOUR;
+        let w = trace.at(ts);
+        let hod = (ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64;
+        let warmth = ((w.temperature + 2.0) / 22.0).clamp(0.05, 1.2);
+        let rain = (w.precipitation / 6.0).min(1.0);
+        let snowfall = (w.snow_fall / 4.0).min(1.0);
+        let depth = (w.snow_depth / 12.0).min(1.0);
+        let hurricane = events.intensity(EventKind::Hurricane, ts);
+        let lambda = 30.0
+            * scale
+            * bike_diurnal(hod)
+            * weekday_factor(date_of(ts).weekday())
+            * warmth
+            * (1.0 - 0.7 * rain)
+            * (1.0 - 0.6 * snowfall)
+            * (1.0 - 0.75 * depth)
+            * (1.0 - 0.97 * hurricane);
+        let n_trips = poisson(&mut rng, lambda);
+        // Snow on the ground idles stations: only a prefix of each
+        // neighborhood's stations stays active.
+        let active_per_nbhd = ((stations_per_nbhd as f64) * (1.0 - 0.7 * depth))
+            .ceil()
+            .max(1.0) as u64;
+        for _ in 0..n_trips {
+            let nbhd = city.sample_neighborhood(&mut rng);
+            let start_point = city.sample_point(&mut rng, nbhd);
+            // Snowy conditions stretch trips (paper: longer trips when it
+            // snows).
+            let duration = (14.0 + 5.0 * gaussian(&mut rng).abs())
+                * (1.0 + 0.8 * snowfall + 0.35 * depth);
+            let distance = duration / 60.0 * 12.0 * (1.0 - 0.3 * snowfall);
+            let station = nbhd as u64 * stations_per_nbhd + rng.gen_range(0..active_per_nbhd);
+            let t = ts + rng.gen_range(0..SECS_PER_HOUR);
+            b.push_keyed(station, start_point, t, &[duration, distance])
+                .expect("schema matches");
+        }
+    }
+    b.build().expect("bike dataset builds")
+}
+
+/// Vehicle collisions (GPS/second native; severity attributes).
+pub fn collisions_dataset(
+    city: &CityModel,
+    trace: &WeatherTrace,
+    events: &UrbanEvents,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    let meta = DatasetMeta {
+        name: "collisions".into(),
+        spatial_resolution: SpatialResolution::Gps,
+        temporal_resolution: TemporalResolution::Hour,
+        description: "Synthetic traffic collision records (NYPD analogue)".into(),
+    };
+    let mut b = DatasetBuilder::new(meta)
+        .attribute(AttributeMeta::named("motorists-injured"))
+        .attribute(AttributeMeta::named("motorists-killed"))
+        .attribute(AttributeMeta::named("pedestrians-injured"))
+        .with_keys();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut key = 0u64;
+    for h in 0..trace.len() {
+        let ts = trace.start + h as i64 * SECS_PER_HOUR;
+        let w = trace.at(ts);
+        let hod = (ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64;
+        let day = ts.div_euclid(SECS_PER_DAY);
+        let rain = (w.precipitation / 8.0).min(1.0);
+        // Frequency follows traffic volume, NOT rain — the paper's finding.
+        // Hurricanes empty the streets, so frequency does drop with them.
+        let hurricane = events.intensity(EventKind::Hurricane, ts);
+        let lambda_city = 6.0 * scale * taxi_diurnal(hod) * weekday_factor(date_of(ts).weekday())
+            * (1.0 - 0.85 * hurricane);
+        let n = poisson(&mut rng, lambda_city);
+        for _ in 0..n {
+            // Weight neighborhoods by popularity × shared incident bursts.
+            let weights: Vec<f64> = (0..city.n_neighborhoods())
+                .map(|k| city.popularity[k] * incident_burst(seed, k, day))
+                .collect();
+            let nbhd = weighted_index(&mut rng, &weights);
+            let p = city.sample_point(&mut rng, nbhd);
+            // Severity worsens sharply with rain.
+            let injured = poisson(&mut rng, 0.15 + 1.6 * rain) as f64;
+            let killed = f64::from(rng.gen_bool((0.01 + 0.10 * rain).min(1.0)));
+            let pedestrians = poisson(&mut rng, 0.10 + 1.1 * rain) as f64;
+            let t = ts + rng.gen_range(0..SECS_PER_HOUR);
+            b.push_keyed(key, p, t, &[injured, killed, pedestrians])
+                .expect("schema matches");
+            key += 1;
+        }
+    }
+    b.build().expect("collisions dataset builds")
+}
+
+/// Shared generator for the 311/911 call data sets.
+fn calls_dataset(
+    name: &str,
+    description: &str,
+    base_rate: f64,
+    hurricane_boost: f64,
+    city: &CityModel,
+    trace: &WeatherTrace,
+    events: &UrbanEvents,
+    burst_seed: u64,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    let meta = DatasetMeta {
+        name: name.into(),
+        spatial_resolution: SpatialResolution::Gps,
+        temporal_resolution: TemporalResolution::Hour,
+        description: description.into(),
+    };
+    let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("response-min"));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pop_total: f64 = city.popularity.iter().sum();
+    for h in 0..trace.len() {
+        let ts = trace.start + h as i64 * SECS_PER_HOUR;
+        let hod = (ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64;
+        let day = ts.div_euclid(SECS_PER_DAY);
+        let daytime = 0.35 + 0.65 * (-((hod - 14.0) / 5.0).powi(2)).exp();
+        let hurricane = events.intensity(EventKind::Hurricane, ts);
+        for nbhd in 0..city.n_neighborhoods() {
+            let burst = incident_burst(burst_seed, nbhd, day);
+            let lambda = base_rate * scale * daytime * burst
+                * (city.popularity[nbhd] / pop_total)
+                * (1.0 + hurricane_boost * hurricane);
+            let n = poisson(&mut rng, lambda);
+            for _ in 0..n {
+                let p = city.sample_point(&mut rng, nbhd);
+                let response = 10.0 + 20.0 * rng.gen::<f64>() + 30.0 * hurricane;
+                let t = ts + rng.gen_range(0..SECS_PER_HOUR);
+                b.push(p, t, &[response]).expect("schema matches");
+            }
+        }
+    }
+    b.build().expect("calls dataset builds")
+}
+
+/// 311 non-emergency complaints. `burst_seed` couples it to collisions/911.
+pub fn complaints311_dataset(
+    city: &CityModel,
+    trace: &WeatherTrace,
+    events: &UrbanEvents,
+    burst_seed: u64,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    calls_dataset(
+        "complaints-311",
+        "Synthetic 311 non-emergency service requests",
+        18.0,
+        1.5,
+        city,
+        trace,
+        events,
+        burst_seed,
+        scale,
+        seed,
+    )
+}
+
+/// 911 emergency calls, sharing incident bursts with 311 and collisions.
+pub fn calls911_dataset(
+    city: &CityModel,
+    trace: &WeatherTrace,
+    events: &UrbanEvents,
+    burst_seed: u64,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    calls_dataset(
+        "calls-911",
+        "Synthetic 911 emergency calls",
+        12.0,
+        3.0,
+        city,
+        trace,
+        events,
+        burst_seed,
+        scale,
+        seed,
+    )
+}
+
+/// Traffic speed readings (GPS/hour native): per popular neighborhood, one
+/// reading per hour, anti-correlated with taxi volume.
+pub fn traffic_dataset(
+    city: &CityModel,
+    trace: &WeatherTrace,
+    events: &UrbanEvents,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    let meta = DatasetMeta {
+        name: "traffic-speed".into(),
+        spatial_resolution: SpatialResolution::Gps,
+        temporal_resolution: TemporalResolution::Hour,
+        description: "Synthetic average street speed readings".into(),
+    };
+    let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("speed-kmh"));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Cover the most popular neighborhoods (sensor-equipped streets).
+    let mut order: Vec<usize> = (0..city.n_neighborhoods()).collect();
+    order.sort_by(|&a, &b| {
+        city.popularity[b]
+            .partial_cmp(&city.popularity[a])
+            .expect("finite weights")
+    });
+    let n_covered = ((order.len() as f64) * (0.25 + 0.25 * scale.min(1.0)))
+        .ceil()
+        .max(3.0) as usize;
+    let covered = &order[..n_covered.min(order.len())];
+    let lambda_peak = taxi_lambda(
+        trace,
+        events,
+        trace.start + 19 * SECS_PER_HOUR, // evening peak of day 1
+    );
+    for h in 0..trace.len() {
+        let ts = trace.start + h as i64 * SECS_PER_HOUR;
+        let w = trace.at(ts);
+        let volume_norm = (taxi_lambda(trace, events, ts) / lambda_peak).min(1.5);
+        let fog = 1.0 - w.visibility / 10.0;
+        let snow = (w.snow_depth / 12.0).min(1.0);
+        for &nbhd in covered {
+            let p = city.sample_point(&mut rng, nbhd);
+            let congestion = 1.0 + 2.2 * volume_norm * (city.popularity[nbhd] / 1.5);
+            let speed = (48.0 / congestion) * (1.0 - 0.25 * fog) * (1.0 - 0.2 * snow)
+                + 1.5 * gaussian(&mut rng);
+            b.push(p, ts + 1_800, &[speed.max(3.0)]).expect("schema matches");
+        }
+    }
+    b.build().expect("traffic dataset builds")
+}
+
+/// Tweets (GPS/second native): diurnal + population structure, but
+/// independent of weather and events — the spurious-relationship bait.
+pub fn twitter_dataset(
+    city: &CityModel,
+    trace: &WeatherTrace,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    let meta = DatasetMeta {
+        name: "twitter".into(),
+        spatial_resolution: SpatialResolution::Gps,
+        temporal_resolution: TemporalResolution::Hour,
+        description: "Synthetic geo-tagged tweet stream".into(),
+    };
+    let mut b = DatasetBuilder::new(meta)
+        .attribute(AttributeMeta::named("retweets"))
+        .attribute(AttributeMeta::named("sentiment"))
+        .with_keys();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut topic_ar = Ar1::new(0.92, 0.4);
+    for h in 0..trace.len() {
+        let ts = trace.start + h as i64 * SECS_PER_HOUR;
+        let hod = (ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64;
+        // Social rhythm: late-evening heavy, early-morning quiet.
+        let rhythm = 0.25
+            + 0.75 * (-((hod - 21.0) / 4.0).powi(2)).exp()
+            + 0.4 * (-((hod - 13.0) / 3.0).powi(2)).exp();
+        let topic = topic_ar.step(&mut rng);
+        let lambda = 45.0 * scale * rhythm * (1.0 + 0.3 * topic.tanh());
+        let n = poisson(&mut rng, lambda);
+        for _ in 0..n {
+            let nbhd = city.sample_neighborhood(&mut rng);
+            let p = city.sample_point(&mut rng, nbhd);
+            let retweets = poisson(&mut rng, 1.2) as f64;
+            let sentiment = (0.1 + 0.4 * gaussian(&mut rng)).clamp(-1.0, 1.0);
+            let user = rng.gen_range(0..50_000u64);
+            let t = ts + rng.gen_range(0..SECS_PER_HOUR);
+            b.push_keyed(user, p, t, &[retweets, sentiment])
+                .expect("schema matches");
+        }
+    }
+    b.build().expect("twitter dataset builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use crate::weather::WeatherConfig;
+    use polygamy_stdata::CivilDate;
+
+    fn small_world() -> (CityModel, WeatherTrace, UrbanEvents, GasTrace) {
+        let city = CityModel::generate(CityConfig::default());
+        let events = UrbanEvents::default_calendar(2011, 1);
+        let trace = WeatherTrace::generate(
+            WeatherConfig { n_years: 1, ..WeatherConfig::default() },
+            &events,
+        );
+        let gas = GasTrace::generate(trace.start, 53, 5);
+        (city, trace, events, gas)
+    }
+
+    #[test]
+    fn taxi_lambda_reacts_to_hurricane() {
+        let (_, trace, events, _) = small_world();
+        let irene = events
+            .events
+            .iter()
+            .find(|e| e.name.contains("Irene"))
+            .unwrap();
+        let mid = (irene.start + irene.end) / 2;
+        let calm = mid - 14 * SECS_PER_DAY;
+        assert!(taxi_lambda(&trace, &events, mid) < 0.25 * taxi_lambda(&trace, &events, calm));
+    }
+
+    #[test]
+    fn taxi_dataset_has_structure() {
+        let (city, trace, events, gas) = small_world();
+        let d = taxi_dataset(&city, &trace, &events, &gas, 0.05, 1);
+        assert!(d.len() > 3_000, "too few trips: {}", d.len());
+        assert!(d.has_keys());
+        assert_eq!(d.attribute_count(), 4);
+        // Fares are positive and plausible.
+        let fares = d.column(0);
+        assert!(fares.iter().all(|&f| f > 0.0 && f < 400.0));
+    }
+
+    #[test]
+    fn bike_trips_longer_in_snowstorm() {
+        let (city, trace, events, _) = small_world();
+        let d = bike_dataset(&city, &trace, &events, 0.3, 2);
+        let storm = events.of_kind(EventKind::Snowstorm).next().unwrap();
+        let durations = d.column(0);
+        let (mut storm_sum, mut storm_n, mut calm_sum, mut calm_n) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..d.len() {
+            let t = d.times()[i];
+            if storm.contains(t) {
+                storm_sum += durations[i];
+                storm_n += 1;
+            } else {
+                calm_sum += durations[i];
+                calm_n += 1;
+            }
+        }
+        assert!(storm_n > 0, "no trips during storm at all");
+        let storm_avg = storm_sum / storm_n as f64;
+        let calm_avg = calm_sum / calm_n as f64;
+        assert!(
+            storm_avg > calm_avg * 1.2,
+            "storm {storm_avg:.1} vs calm {calm_avg:.1}"
+        );
+    }
+
+    #[test]
+    fn collision_severity_tracks_rain_but_frequency_does_not() {
+        let (city, trace, events, _) = small_world();
+        let d = collisions_dataset(&city, &trace, &events, 1.0, 3);
+        let injured = d.column(0);
+        let (mut wet_inj, mut wet_n, mut dry_inj, mut dry_n) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..d.len() {
+            let w = trace.at(d.times()[i]);
+            if w.precipitation > 4.0 {
+                wet_inj += injured[i];
+                wet_n += 1;
+            } else if w.precipitation < 0.1 {
+                dry_inj += injured[i];
+                dry_n += 1;
+            }
+        }
+        assert!(wet_n > 20 && dry_n > 200);
+        let wet_avg = wet_inj / wet_n as f64;
+        let dry_avg = dry_inj / dry_n as f64;
+        assert!(wet_avg > 2.0 * dry_avg, "wet {wet_avg:.2} vs dry {dry_avg:.2}");
+        // Frequency per hour roughly independent: wet rate within 50% of
+        // the overall mean (diurnal mixing makes exact equality unneeded).
+        let hours_wet = trace.hours.iter().filter(|w| w.precipitation > 4.0).count();
+        let frac_records_wet = wet_n as f64 / d.len() as f64;
+        let frac_hours_wet = hours_wet as f64 / trace.len() as f64;
+        assert!(
+            frac_records_wet < 2.0 * frac_hours_wet,
+            "frequency should not blow up with rain: {frac_records_wet} vs {frac_hours_wet}"
+        );
+    }
+
+    #[test]
+    fn calls_share_bursts() {
+        let (city, trace, events, _) = small_world();
+        let c311 = complaints311_dataset(&city, &trace, &events, 77, 0.4, 4);
+        let c911 = calls911_dataset(&city, &trace, &events, 77, 0.4, 5);
+        assert!(c311.len() > 500);
+        assert!(c911.len() > 300);
+        // Daily counts should correlate (shared bursts + shared rhythm).
+        let day0 = trace.start / SECS_PER_DAY;
+        let n_days = (trace.len() / 24) + 1;
+        let daily = |d: &Dataset| -> Vec<f64> {
+            let mut v = vec![0.0; n_days];
+            for &t in d.times() {
+                let idx = (t / SECS_PER_DAY - day0) as usize;
+                if idx < v.len() {
+                    v[idx] += 1.0;
+                }
+            }
+            v
+        };
+        let a = daily(&c311);
+        let b = daily(&c911);
+        let corr = polygamy_corr(&a, &b);
+        assert!(corr > 0.3, "daily 311/911 correlation too low: {corr}");
+    }
+
+    fn polygamy_corr(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut dx = 0.0;
+        let mut dy = 0.0;
+        for i in 0..x.len() {
+            num += (x[i] - mx) * (y[i] - my);
+            dx += (x[i] - mx).powi(2);
+            dy += (y[i] - my).powi(2);
+        }
+        num / (dx.sqrt() * dy.sqrt())
+    }
+
+    #[test]
+    fn traffic_slow_at_rush_hour() {
+        let (city, trace, events, _) = small_world();
+        let d = traffic_dataset(&city, &trace, &events, 0.5, 6);
+        assert!(!d.is_empty());
+        let speeds = d.column(0);
+        let (mut rush, mut rush_n, mut night, mut night_n) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..d.len() {
+            let hod = d.times()[i].rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR;
+            if hod == 19 {
+                rush += speeds[i];
+                rush_n += 1;
+            } else if hod == 4 {
+                night += speeds[i];
+                night_n += 1;
+            }
+        }
+        let rush_avg = rush / rush_n as f64;
+        let night_avg = night / night_n as f64;
+        assert!(
+            night_avg > rush_avg * 1.3,
+            "night {night_avg:.1} vs rush {rush_avg:.1}"
+        );
+    }
+
+    #[test]
+    fn gas_trace_plausible_and_weekly() {
+        let (city, trace, _, _) = small_world();
+        let gas = GasTrace::generate(trace.start, 53, 5);
+        assert!(gas.weekly.iter().all(|&p| (2.0..6.0).contains(&p)));
+        let d = gas.dataset(&city);
+        assert_eq!(d.len(), 53);
+        assert_eq!(d.meta.temporal_resolution, TemporalResolution::Week);
+        // price_at is piecewise constant per week.
+        let ts = CivilDate::new(2011, 5, 4).timestamp();
+        assert_eq!(gas.price_at(ts), gas.price_at(ts + SECS_PER_DAY));
+    }
+
+    #[test]
+    fn twitter_ignores_hurricanes() {
+        let (city, trace, events, _) = small_world();
+        let d = twitter_dataset(&city, &trace, 0.1, 8);
+        assert!(d.len() > 5_000);
+        let irene = events.events.iter().find(|e| e.name.contains("Irene")).unwrap();
+        let storm_tweets = d
+            .times()
+            .iter()
+            .filter(|&&t| irene.contains(t))
+            .count() as f64;
+        let storm_hours = ((irene.end - irene.start) / SECS_PER_HOUR) as f64;
+        let rate_storm = storm_tweets / storm_hours;
+        let rate_all = d.len() as f64 / trace.len() as f64;
+        assert!(
+            (rate_storm / rate_all) > 0.4 && (rate_storm / rate_all) < 2.5,
+            "tweets should not react strongly to hurricanes: {rate_storm} vs {rate_all}"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # polygamy-datagen — synthetic urban data substrate
+//!
+//! The paper evaluates on two corpora we cannot redistribute: the *NYC
+//! Urban* collection (Table 1: taxi, weather, 311, 911, Citi Bike, vehicle
+//! collisions, traffic speed, gas prices, Twitter) and *NYC Open* (300
+//! small public data sets). This crate builds statistical analogues with
+//! **planted, ground-truth couplings** mirroring the relationships the
+//! paper reports:
+//!
+//! | planted coupling | paper finding |
+//! |---|---|
+//! | hurricanes crush taxi activity | wind ↔ trips, extreme, τ=−1 |
+//! | rain suppresses taxi activity | precipitation ↔ taxis, τ=−0.62 |
+//! | rain raises fares (surge) | precipitation ↔ fare, τ=0.73 |
+//! | snow lengthens bike trips / idles stations | snow ↔ Citi Bike |
+//! | rain worsens collision severity, not frequency | rain ↔ injuries |
+//! | taxi volume slows traffic | trips ↔ speed, τ=−0.90 |
+//! | collisions drive 311/911 calls | collisions ↔ 311/911 |
+//! | gas prices drift into fares | gas ↔ fare (month) |
+//! | Twitter independent of bikes | spurious pair the tests must prune |
+//!
+//! Ground truth lets us quantify what the paper could only argue
+//! qualitatively: recall of planted relationships and pruning of spurious
+//! ones.
+
+pub mod activity;
+pub mod city;
+pub mod events;
+pub mod noise;
+pub mod opendata;
+pub mod urban;
+pub mod util;
+pub mod weather;
+
+pub use city::{CityModel, CityConfig};
+pub use events::{EventKind, EventWindow, UrbanEvents};
+pub use noise::add_iqr_noise;
+pub use opendata::{open_collection, OpenConfig, OpenCollection};
+pub use urban::{urban_collection, UrbanCollection, UrbanConfig};
+pub use weather::{WeatherConfig, WeatherTrace};

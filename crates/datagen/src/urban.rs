@@ -1,0 +1,182 @@
+//! The NYC-Urban analogue collection (paper Table 1).
+//!
+//! Assembles the nine data sets over one shared city, weather trace and
+//! event calendar. The `scale` knob trades record volume for speed: tests
+//! run at `scale ≈ 0.02`, experiments at `0.2–1.0`.
+
+use crate::activity::{
+    bike_dataset, calls911_dataset, collisions_dataset, complaints311_dataset, taxi_dataset,
+    traffic_dataset, twitter_dataset, GasTrace,
+};
+use crate::city::{CityConfig, CityModel};
+use crate::events::UrbanEvents;
+use crate::weather::{WeatherConfig, WeatherTrace};
+use polygamy_core::framework::CityGeometry;
+use polygamy_stdata::Dataset;
+
+/// Collection-level parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UrbanConfig {
+    /// First simulated year.
+    pub start_year: i32,
+    /// Number of simulated years.
+    pub n_years: usize,
+    /// Record-volume scale (1.0 ≈ hundreds of thousands of taxi trips).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Extra filler attributes on the weather data set (NCEI has 228
+    /// columns; filler columns exercise the same indexing paths).
+    pub extra_weather_attrs: usize,
+}
+
+impl Default for UrbanConfig {
+    fn default() -> Self {
+        Self {
+            start_year: 2011,
+            n_years: 2,
+            scale: 0.2,
+            seed: 0x0B57_11C5,
+            extra_weather_attrs: 8,
+        }
+    }
+}
+
+/// The assembled collection.
+pub struct UrbanCollection {
+    /// City model (geometry + hotspots).
+    pub city: CityModel,
+    /// Shared weather simulation.
+    pub trace: WeatherTrace,
+    /// Planted ground-truth events.
+    pub events: UrbanEvents,
+    /// Weekly gas-price trace.
+    pub gas: GasTrace,
+    /// The nine data sets, in the indexing order used by the experiments:
+    /// gas-prices, collisions, complaints-311, calls-911, citibike,
+    /// weather, traffic-speed, taxi, twitter (small → large, echoing the
+    /// paper's Figure 8 ordering).
+    pub datasets: Vec<Dataset>,
+}
+
+impl UrbanCollection {
+    /// A data set by name.
+    pub fn dataset(&self, name: &str) -> Option<&Dataset> {
+        self.datasets.iter().find(|d| d.meta.name == name)
+    }
+
+    /// The geometry shared by all data sets.
+    pub fn geometry(&self) -> &CityGeometry {
+        &self.city.geometry
+    }
+}
+
+/// Generates the full collection.
+pub fn urban_collection(config: UrbanConfig) -> UrbanCollection {
+    let city = CityModel::generate(CityConfig {
+        seed: config.seed ^ 0xC171,
+        ..CityConfig::default()
+    });
+    let events = UrbanEvents::default_calendar(config.start_year, config.n_years);
+    let trace = WeatherTrace::generate(
+        WeatherConfig {
+            start_year: config.start_year,
+            n_years: config.n_years,
+            seed: config.seed ^ 0x7EA7,
+            extra_attrs: config.extra_weather_attrs,
+        },
+        &events,
+    );
+    let n_weeks = (trace.len() / (24 * 7)) + 2;
+    let gas = GasTrace::generate(trace.start, n_weeks, config.seed ^ 0x6A5);
+    let s = config.seed;
+    let burst_seed = s ^ 0xB0057;
+    let center = city.center();
+    let datasets = vec![
+        gas.dataset(&city),
+        collisions_dataset(&city, &trace, &events, config.scale, s ^ 1),
+        complaints311_dataset(&city, &trace, &events, burst_seed, config.scale, s ^ 2),
+        calls911_dataset(&city, &trace, &events, burst_seed, config.scale, s ^ 3),
+        bike_dataset(&city, &trace, &events, config.scale, s ^ 4),
+        trace.dataset(center, config.extra_weather_attrs, s ^ 5),
+        traffic_dataset(&city, &trace, &events, config.scale, s ^ 6),
+        taxi_dataset(&city, &trace, &events, &gas, config.scale, s ^ 7),
+        twitter_dataset(&city, &trace, config.scale, s ^ 8),
+    ];
+    UrbanCollection {
+        city,
+        trace,
+        events,
+        gas,
+        datasets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> UrbanCollection {
+        urban_collection(UrbanConfig {
+            n_years: 1,
+            scale: 0.02,
+            ..UrbanConfig::default()
+        })
+    }
+
+    #[test]
+    fn nine_datasets_with_expected_names() {
+        let c = tiny();
+        assert_eq!(c.datasets.len(), 9);
+        for name in [
+            "gas-prices",
+            "collisions",
+            "complaints-311",
+            "calls-911",
+            "citibike",
+            "weather",
+            "traffic-speed",
+            "taxi",
+            "twitter",
+        ] {
+            assert!(c.dataset(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn all_nonempty_and_within_window() {
+        let c = tiny();
+        let (start, end) = (c.trace.start, c.trace.end());
+        // Weekly gas records align to Monday buckets, which can precede
+        // January 1 and overrun the final week — allow that slack.
+        let slack = 14 * 24 * 3_600;
+        for d in &c.datasets {
+            assert!(!d.is_empty(), "{} is empty", d.meta.name);
+            let (lo, hi) = d.time_range().unwrap();
+            assert!(
+                lo >= start - slack && hi <= end + slack,
+                "{} outside window",
+                d.meta.name
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_has_all_partitions() {
+        let c = tiny();
+        let g = c.geometry();
+        assert!(g.zip.is_some());
+        assert!(g.neighborhood.is_some());
+        assert_eq!(g.city.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny();
+        let b = tiny();
+        for (da, db) in a.datasets.iter().zip(&b.datasets) {
+            assert_eq!(da.len(), db.len(), "{}", da.meta.name);
+            assert_eq!(da.times().first(), db.times().first());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Small sampling utilities shared by the generators.
+
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller (we avoid the rand_distr
+/// dependency; two uniforms per call, second discarded for simplicity).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Poisson sample: Knuth's method for small λ, normal approximation above.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let v = lambda + lambda.sqrt() * gaussian(rng);
+        v.max(0.0).round() as u64
+    }
+}
+
+/// First-order autoregressive process generator.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    /// Autocorrelation in `[0, 1)`.
+    pub phi: f64,
+    /// Innovation standard deviation.
+    pub sigma: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// New process starting at 0.
+    pub fn new(phi: f64, sigma: f64) -> Self {
+        Self { phi, sigma, state: 0.0 }
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.state = self.phi * self.state + self.sigma * gaussian(rng);
+        self.state
+    }
+}
+
+/// Weighted index sampling (linear scan; weights need not normalise).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 5_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn ar1_is_stationary_ish() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ar = Ar1::new(0.9, 1.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| ar.step(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Stationary variance = sigma^2 / (1 - phi^2) ≈ 5.26.
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.3, "mean {mean}");
+        assert!((var - 5.26).abs() < 1.0, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulated cluster sizing.
+//!
+//! The paper's scalability experiment (Figure 10) sweeps AWS cluster sizes
+//! and reports per-component speedup. We model a cluster as `nodes ×
+//! cores_per_node` workers sharing one machine: what the sweep then
+//! measures is the same quantity the paper's does — how well each
+//! embarrassingly parallel job scales with available task slots, including
+//! the straggler effects that flatten the curve.
+
+use serde::{Deserialize, Serialize};
+
+/// An execution environment with a bounded number of parallel task slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Number of simulated nodes.
+    pub nodes: usize,
+    /// Cores (task slots) per node.
+    pub cores_per_node: usize,
+}
+
+impl Cluster {
+    /// A cluster of `nodes` nodes with `cores_per_node` slots each.
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        Self {
+            nodes: nodes.max(1),
+            cores_per_node: cores_per_node.max(1),
+        }
+    }
+
+    /// A single-node "cluster" with `workers` slots.
+    pub fn local(workers: usize) -> Self {
+        Self::new(1, workers)
+    }
+
+    /// Uses every core the host offers.
+    pub fn host() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(1, cores)
+    }
+
+    /// Total parallel task slots.
+    pub fn workers(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Self::host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_counts() {
+        assert_eq!(Cluster::new(4, 8).workers(), 32);
+        assert_eq!(Cluster::local(3).workers(), 3);
+        assert!(Cluster::host().workers() >= 1);
+    }
+
+    #[test]
+    fn zero_clamped() {
+        assert_eq!(Cluster::new(0, 0).workers(), 1);
+    }
+}

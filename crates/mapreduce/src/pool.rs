@@ -1,0 +1,99 @@
+//! Scoped worker pool over crossbeam.
+//!
+//! Tasks are indexed work items pulled off a shared atomic counter by a
+//! fixed number of worker threads — the same self-scheduling model Hadoop
+//! task trackers use within a node, and the mechanism by which [`Cluster`]
+//! (see [`crate::cluster`]) bounds parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(i)` for every `i in 0..n_tasks` on `workers` threads and returns
+/// the results in task order.
+///
+/// `workers == 1` runs inline on the calling thread (no spawn overhead),
+/// which keeps single-node measurements honest.
+pub fn run_indexed_tasks<R, F>(workers: usize, n_tasks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
+    // Hand each worker a disjoint view of the result slots through a
+    // channel of (index, result) messages; the receiver owns `slots`.
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(n_tasks) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let r = f(i);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((i, r)) = rx.recv() {
+            slots[i] = Some(r);
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_task_order() {
+        let out = run_indexed_tasks(4, 100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn single_worker_inline() {
+        let out = run_indexed_tasks(1, 10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let out: Vec<usize> = run_indexed_tasks(8, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let out = run_indexed_tasks(7, 1_000, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            ()
+        });
+        assert_eq!(out.len(), 1_000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1_000);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = run_indexed_tasks(64, 3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

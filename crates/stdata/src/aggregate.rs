@@ -1,0 +1,592 @@
+//! Scalar function computation (paper Section 5.1).
+//!
+//! Two families of scalar functions are derived from a data set:
+//!
+//! * **count functions** capture the activity of the entity the data set
+//!   represents: *density* (tuples per spatio-temporal point) and *unique*
+//!   (distinct identifier keys per point);
+//! * **attribute functions** assign each spatio-temporal point an aggregate
+//!   (the paper uses the average; we also support sum/min/max/median per
+//!   Section 8) over the tuples that fall on it.
+//!
+//! Aggregation always goes from raw records to a field at a requested
+//! resolution — exactly what the scalar-function-computation map-reduce job
+//! does. Field-to-field coarsening along the resolution DAG is also provided
+//! for pure-field workflows.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::field::{MissingPolicy, ScalarField};
+use crate::resolution::Resolution;
+use crate::spatial::SpatialPartition;
+use crate::temporal::{TemporalResolution, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate applied by attribute functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// Arithmetic mean (the paper's default).
+    Mean,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Median.
+    Median,
+}
+
+impl AggregateKind {
+    /// Short label for display.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggregateKind::Mean => "avg",
+            AggregateKind::Sum => "sum",
+            AggregateKind::Min => "min",
+            AggregateKind::Max => "max",
+            AggregateKind::Median => "median",
+        }
+    }
+}
+
+/// Which scalar function to derive from a data set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FunctionKind {
+    /// Number of tuples per spatio-temporal point.
+    Density,
+    /// Number of distinct identifier keys per spatio-temporal point.
+    Unique,
+    /// Aggregate of attribute `attr` per spatio-temporal point.
+    Attribute {
+        /// Column index into [`Dataset::attributes`].
+        attr: usize,
+        /// Aggregate to apply.
+        agg: AggregateKind,
+    },
+}
+
+impl FunctionKind {
+    /// The missing-data policy the paper's semantics imply: no tuples means
+    /// zero activity for count functions, but an undefined average for
+    /// attribute functions.
+    pub fn missing_policy(self) -> MissingPolicy {
+        match self {
+            FunctionKind::Density | FunctionKind::Unique => MissingPolicy::Zero,
+            FunctionKind::Attribute { .. } => MissingPolicy::Exclude,
+        }
+    }
+
+    /// True for the two count functions.
+    pub fn is_count(self) -> bool {
+        matches!(self, FunctionKind::Density | FunctionKind::Unique)
+    }
+}
+
+/// Computes the scalar function of `kind` for `dataset` over `partition`
+/// (spatial) × `temporal` buckets, restricted to the optional half-open
+/// `window`; when `window` is `None` the data set's own time range is used.
+///
+/// Records that fall outside the partition (GPS points not inside any
+/// polygon) or outside the window are dropped, mirroring the map phase of
+/// the scalar-function-computation job.
+pub fn aggregate(
+    dataset: &Dataset,
+    partition: &SpatialPartition,
+    temporal: TemporalResolution,
+    kind: FunctionKind,
+    window: Option<(Timestamp, Timestamp)>,
+) -> Result<ScalarField> {
+    if let FunctionKind::Attribute { attr, .. } = kind {
+        if attr >= dataset.attribute_count() {
+            return Err(Error::UnknownAttribute(format!("attribute #{attr}")));
+        }
+    }
+    if kind == FunctionKind::Unique && !dataset.has_keys() {
+        return Err(Error::UnknownAttribute("unique function needs keys".into()));
+    }
+    let (start, end) = match window {
+        Some((s, e)) => {
+            if e <= s {
+                return Err(Error::InvalidTimeRange { start: s, end: e });
+            }
+            (s, e)
+        }
+        None => dataset.time_range()?,
+    };
+    let start_bucket = temporal.bucket_of(start);
+    let n_steps = temporal.buckets_in_range(start, end);
+    if n_steps == 0 {
+        return Err(Error::EmptyDomain);
+    }
+    let n_regions = partition.len();
+    let resolution = Resolution::new(partition.resolution, temporal);
+    let mut field = ScalarField::undefined(resolution, n_regions, start_bucket, n_steps);
+
+    // Region assignment: reuse the data set's native region indices when it
+    // was published at this partition's resolution; otherwise point-locate.
+    let use_native_regions =
+        dataset.meta.spatial_resolution == partition.resolution && dataset.regions().is_some();
+
+    let cell_of = |i: usize| -> Option<usize> {
+        let t = dataset.times()[i];
+        if t < start || t >= end {
+            return None;
+        }
+        let region = if n_regions == 1 {
+            // City scale: every record inside the window belongs to the
+            // single region regardless of coordinates.
+            0u32
+        } else if use_native_regions {
+            let r = dataset.regions().expect("checked above")[i];
+            if (r as usize) < n_regions {
+                r
+            } else {
+                return None;
+            }
+        } else {
+            partition.locate(dataset.locations()[i])?
+        };
+        let step = (temporal.bucket_of(t) - start_bucket) as usize;
+        Some(step * n_regions + region as usize)
+    };
+
+    match kind {
+        FunctionKind::Density => {
+            let mut counts = vec![0u64; field.len()];
+            for i in 0..dataset.len() {
+                if let Some(c) = cell_of(i) {
+                    counts[c] += 1;
+                }
+            }
+            for (v, c) in field.values.iter_mut().zip(&counts) {
+                *v = *c as f64;
+            }
+        }
+        FunctionKind::Unique => {
+            let keys = dataset.keys().expect("checked above");
+            let mut pairs: Vec<(u32, u64)> = Vec::new();
+            for i in 0..dataset.len() {
+                if let Some(c) = cell_of(i) {
+                    pairs.push((c as u32, keys[i]));
+                }
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            let mut counts = vec![0u64; field.len()];
+            for (c, _) in pairs {
+                counts[c as usize] += 1;
+            }
+            for (v, c) in field.values.iter_mut().zip(&counts) {
+                *v = *c as f64;
+            }
+        }
+        FunctionKind::Attribute { attr, agg } => {
+            let col = dataset.column(attr);
+            match agg {
+                AggregateKind::Mean | AggregateKind::Sum => {
+                    let mut sums = vec![0.0f64; field.len()];
+                    let mut counts = vec![0u64; field.len()];
+                    for i in 0..dataset.len() {
+                        let v = col[i];
+                        if v.is_nan() {
+                            continue;
+                        }
+                        if let Some(c) = cell_of(i) {
+                            sums[c] += v;
+                            counts[c] += 1;
+                        }
+                    }
+                    for ((out, s), c) in field.values.iter_mut().zip(&sums).zip(&counts) {
+                        if *c > 0 {
+                            *out = if agg == AggregateKind::Mean {
+                                s / *c as f64
+                            } else {
+                                *s
+                            };
+                        }
+                    }
+                }
+                AggregateKind::Min | AggregateKind::Max => {
+                    for i in 0..dataset.len() {
+                        let v = col[i];
+                        if v.is_nan() {
+                            continue;
+                        }
+                        if let Some(c) = cell_of(i) {
+                            let cur = field.values[c];
+                            field.values[c] = if cur.is_nan() {
+                                v
+                            } else if agg == AggregateKind::Min {
+                                cur.min(v)
+                            } else {
+                                cur.max(v)
+                            };
+                        }
+                    }
+                }
+                AggregateKind::Median => {
+                    let mut pairs: Vec<(u32, f64)> = Vec::new();
+                    for i in 0..dataset.len() {
+                        let v = col[i];
+                        if v.is_nan() {
+                            continue;
+                        }
+                        if let Some(c) = cell_of(i) {
+                            pairs.push((c as u32, v));
+                        }
+                    }
+                    pairs.sort_unstable_by(|a, b| {
+                        a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN here"))
+                    });
+                    let mut i = 0;
+                    while i < pairs.len() {
+                        let cell = pairs[i].0;
+                        let mut j = i;
+                        while j < pairs.len() && pairs[j].0 == cell {
+                            j += 1;
+                        }
+                        let run = &pairs[i..j];
+                        let mid = run.len() / 2;
+                        let med = if run.len() % 2 == 1 {
+                            run[mid].1
+                        } else {
+                            (run[mid - 1].1 + run[mid].1) / 2.0
+                        };
+                        field.values[cell as usize] = med;
+                        i = j;
+                    }
+                }
+            }
+        }
+    }
+
+    field.apply_missing(kind.missing_policy());
+    Ok(field)
+}
+
+/// Maps every fine region to the coarse region containing its centroid.
+pub fn region_mapping(fine: &SpatialPartition, coarse: &SpatialPartition) -> Vec<Option<u32>> {
+    fine.polygons
+        .iter()
+        .map(|p| coarse.locate(p.centroid()))
+        .collect()
+}
+
+/// Coarsens a field along the temporal axis (`to` must be reachable from the
+/// field's temporal resolution in the DAG). Count functions combine with
+/// `Sum`; attribute functions with `Mean`.
+pub fn coarsen_temporal(
+    field: &ScalarField,
+    to: TemporalResolution,
+    combine: AggregateKind,
+) -> Result<ScalarField> {
+    let from = field.resolution.temporal;
+    if !from.convertible_to(to) {
+        return Err(Error::IncompatibleResolution {
+            from: from.label().into(),
+            to: to.label().into(),
+        });
+    }
+    if from == to {
+        return Ok(field.clone());
+    }
+    let t0 = field.step_start(0);
+    let t_end = field
+        .resolution
+        .temporal
+        .bucket_start(field.start_bucket + field.n_steps as i64);
+    let start_bucket = to.bucket_of(t0);
+    let n_steps = to.buckets_in_range(t0, t_end);
+    let mut out = ScalarField::undefined(
+        Resolution::new(field.resolution.spatial, to),
+        field.n_regions,
+        start_bucket,
+        n_steps,
+    );
+    let mut counts = vec![0u64; out.len()];
+    for z in 0..field.n_steps {
+        let zt = field.step_start(z);
+        let oz = (to.bucket_of(zt) - start_bucket) as usize;
+        for x in 0..field.n_regions {
+            let v = field.value(x, z);
+            if v.is_nan() {
+                continue;
+            }
+            let idx = oz * out.n_regions + x;
+            let cur = out.values[idx];
+            out.values[idx] = match combine {
+                AggregateKind::Sum | AggregateKind::Mean => {
+                    if cur.is_nan() {
+                        v
+                    } else {
+                        cur + v
+                    }
+                }
+                AggregateKind::Min => {
+                    if cur.is_nan() {
+                        v
+                    } else {
+                        cur.min(v)
+                    }
+                }
+                AggregateKind::Max => {
+                    if cur.is_nan() {
+                        v
+                    } else {
+                        cur.max(v)
+                    }
+                }
+                AggregateKind::Median => {
+                    // Median over medians is not well defined; approximate
+                    // with mean combining, which keeps the field usable.
+                    if cur.is_nan() {
+                        v
+                    } else {
+                        cur + v
+                    }
+                }
+            };
+            counts[idx] += 1;
+        }
+    }
+    if matches!(combine, AggregateKind::Mean | AggregateKind::Median) {
+        for (v, c) in out.values.iter_mut().zip(&counts) {
+            if *c > 0 {
+                *v /= *c as f64;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Coarsens a field along the spatial axis using a fine→coarse region
+/// mapping (see [`region_mapping`]). Count functions combine with `Sum`;
+/// attribute functions with `Mean`.
+pub fn coarsen_spatial(
+    field: &ScalarField,
+    mapping: &[Option<u32>],
+    coarse: &SpatialPartition,
+    combine: AggregateKind,
+) -> Result<ScalarField> {
+    if mapping.len() != field.n_regions {
+        return Err(Error::IncompatibleResolution {
+            from: format!("{} regions", field.n_regions),
+            to: format!("mapping of {}", mapping.len()),
+        });
+    }
+    let mut out = ScalarField::undefined(
+        Resolution::new(coarse.resolution, field.resolution.temporal),
+        coarse.len(),
+        field.start_bucket,
+        field.n_steps,
+    );
+    let mut counts = vec![0u64; out.len()];
+    for z in 0..field.n_steps {
+        for x in 0..field.n_regions {
+            let Some(cx) = mapping[x] else { continue };
+            let v = field.value(x, z);
+            if v.is_nan() {
+                continue;
+            }
+            let idx = z * out.n_regions + cx as usize;
+            let cur = out.values[idx];
+            out.values[idx] = if cur.is_nan() { v } else { cur + v };
+            counts[idx] += 1;
+        }
+    }
+    if combine == AggregateKind::Mean {
+        for (v, c) in out.values.iter_mut().zip(&counts) {
+            if *c > 0 {
+                *v /= *c as f64;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{AttributeMeta, DatasetBuilder, DatasetMeta};
+    use crate::spatial::{GeoPoint, Polygon, SpatialResolution};
+
+    fn partition() -> SpatialPartition {
+        SpatialPartition::new(
+            SpatialResolution::Neighborhood,
+            vec![
+                Polygon::rect(0.0, 0.0, 1.0, 1.0),
+                Polygon::rect(1.0, 0.0, 2.0, 1.0),
+            ],
+            vec![vec![1], vec![0]],
+        )
+        .unwrap()
+    }
+
+    fn sample_dataset() -> Dataset {
+        let meta = DatasetMeta {
+            name: "taxi".into(),
+            spatial_resolution: SpatialResolution::Gps,
+            temporal_resolution: TemporalResolution::Hour,
+            description: String::new(),
+        };
+        let mut b = DatasetBuilder::new(meta)
+            .attribute(AttributeMeta::named("fare"))
+            .with_keys();
+        // Hour 0, region 0: two trips, keys 1 and 1 (same taxi), fares 10, 20.
+        b.push_keyed(1, GeoPoint::new(0.5, 0.5), 10, &[10.0]).unwrap();
+        b.push_keyed(1, GeoPoint::new(0.6, 0.5), 20, &[20.0]).unwrap();
+        // Hour 0, region 1: one trip, key 2, fare NaN (missing).
+        b.push_keyed(2, GeoPoint::new(1.5, 0.5), 30, &[f64::NAN]).unwrap();
+        // Hour 1, region 1: two trips, keys 2 and 3.
+        b.push_keyed(2, GeoPoint::new(1.5, 0.5), 3_700, &[6.0]).unwrap();
+        b.push_keyed(3, GeoPoint::new(1.2, 0.2), 3_800, &[8.0]).unwrap();
+        // Outside partition: dropped.
+        b.push_keyed(4, GeoPoint::new(9.0, 9.0), 100, &[99.0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn density() {
+        let d = sample_dataset();
+        let f = aggregate(&d, &partition(), TemporalResolution::Hour, FunctionKind::Density, None)
+            .unwrap();
+        assert_eq!(f.n_regions, 2);
+        assert_eq!(f.n_steps, 2);
+        assert_eq!(f.value(0, 0), 2.0);
+        assert_eq!(f.value(1, 0), 1.0);
+        assert_eq!(f.value(0, 1), 0.0); // zero-filled
+        assert_eq!(f.value(1, 1), 2.0);
+    }
+
+    #[test]
+    fn unique_counts_distinct_keys() {
+        let d = sample_dataset();
+        let f = aggregate(&d, &partition(), TemporalResolution::Hour, FunctionKind::Unique, None)
+            .unwrap();
+        assert_eq!(f.value(0, 0), 1.0); // key 1 twice -> 1 unique
+        assert_eq!(f.value(1, 1), 2.0); // keys 2, 3
+    }
+
+    #[test]
+    fn attribute_mean_skips_nan() {
+        let d = sample_dataset();
+        let f = aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Mean },
+            None,
+        )
+        .unwrap();
+        assert_eq!(f.value(0, 0), 15.0);
+        assert!(f.value(1, 0).is_nan()); // only a NaN fare there
+        assert_eq!(f.value(1, 1), 7.0);
+    }
+
+    #[test]
+    fn attribute_min_max_median() {
+        let d = sample_dataset();
+        let min = aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Min },
+            None,
+        )
+        .unwrap();
+        assert_eq!(min.value(0, 0), 10.0);
+        let max = aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Max },
+            None,
+        )
+        .unwrap();
+        assert_eq!(max.value(0, 0), 20.0);
+        let med = aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Median },
+            None,
+        )
+        .unwrap();
+        assert_eq!(med.value(0, 0), 15.0);
+    }
+
+    #[test]
+    fn city_scale_keeps_out_of_polygon_records() {
+        let d = sample_dataset();
+        let city = SpatialPartition::city(0.0, 0.0, 2.0, 1.0);
+        let f = aggregate(&d, &city, TemporalResolution::Hour, FunctionKind::Density, None)
+            .unwrap();
+        // All 4 hour-0 records (incl. the out-of-polygon one) count at city scale.
+        assert_eq!(f.value(0, 0), 4.0);
+        assert_eq!(f.value(0, 1), 2.0);
+    }
+
+    #[test]
+    fn window_filters_records() {
+        let d = sample_dataset();
+        let f = aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Density,
+            Some((3_600, 7_200)),
+        )
+        .unwrap();
+        assert_eq!(f.n_steps, 1);
+        assert_eq!(f.value(1, 0), 2.0);
+    }
+
+    #[test]
+    fn unique_without_keys_is_error() {
+        let meta = DatasetMeta {
+            name: "d".into(),
+            spatial_resolution: SpatialResolution::Gps,
+            temporal_resolution: TemporalResolution::Hour,
+            description: String::new(),
+        };
+        let mut b = DatasetBuilder::new(meta);
+        b.push(GeoPoint::new(0.5, 0.5), 10, &[]).unwrap();
+        let d = b.build().unwrap();
+        assert!(aggregate(&d, &partition(), TemporalResolution::Hour, FunctionKind::Unique, None)
+            .is_err());
+    }
+
+    #[test]
+    fn coarsen_temporal_sums_days() {
+        let res = Resolution::new(SpatialResolution::City, TemporalResolution::Hour);
+        let values: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let f = ScalarField::time_series(res, 0, values);
+        let day = coarsen_temporal(&f, TemporalResolution::Day, AggregateKind::Sum).unwrap();
+        assert_eq!(day.n_steps, 2);
+        assert_eq!(day.value(0, 0), (0..24).sum::<i32>() as f64);
+        assert_eq!(day.value(0, 1), (24..48).sum::<i32>() as f64);
+    }
+
+    #[test]
+    fn coarsen_temporal_incompatible() {
+        let res = Resolution::new(SpatialResolution::City, TemporalResolution::Week);
+        let f = ScalarField::time_series(res, 0, vec![1.0; 8]);
+        assert!(coarsen_temporal(&f, TemporalResolution::Month, AggregateKind::Sum).is_err());
+    }
+
+    #[test]
+    fn coarsen_spatial_to_city() {
+        let part = partition();
+        let city = SpatialPartition::city(0.0, 0.0, 2.0, 1.0);
+        let res = Resolution::new(SpatialResolution::Neighborhood, TemporalResolution::Hour);
+        let mut f = ScalarField::undefined(res, 2, 0, 1);
+        f.set(0, 0, 3.0);
+        f.set(1, 0, 5.0);
+        let mapping = region_mapping(&part, &city);
+        let out = coarsen_spatial(&f, &mapping, &city, AggregateKind::Sum).unwrap();
+        assert_eq!(out.value(0, 0), 8.0);
+        let mean = coarsen_spatial(&f, &mapping, &city, AggregateKind::Mean).unwrap();
+        assert_eq!(mean.value(0, 0), 4.0);
+    }
+}

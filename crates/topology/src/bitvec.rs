@@ -1,0 +1,287 @@
+//! Packed bit vectors for feature sets.
+//!
+//! The paper's relationship-computation job represents each set of features
+//! as a bit vector so that intersections reduce to word-level ANDs
+//! (Appendix C). This implementation provides exactly the operations the
+//! relationship evaluator needs: set/get, population count, intersection
+//! counts, and applying a vertex permutation (for the restricted Monte Carlo
+//! tests).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length packed bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|self ∧ other|` without materialising the intersection.
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∨ other|` without materialising the union.
+    pub fn or_count(&self, other: &BitVec) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// New vector with the bits moved through `perm`: output bit `perm[i]`
+    /// equals input bit `i`. `perm` must be a bijection on `0..len`.
+    pub fn permuted(&self, perm: &[u32]) -> BitVec {
+        debug_assert_eq!(perm.len(), self.len);
+        let mut out = BitVec::zeros(self.len);
+        for i in self.iter_ones() {
+            out.set(perm[i] as usize);
+        }
+        out
+    }
+
+    /// Extracts bits `[start, end)` as a new vector (bit `start` becomes
+    /// bit 0). Used to crop feature sets to the overlap window of two
+    /// functions whose time ranges differ.
+    pub fn slice(&self, start: usize, end: usize) -> BitVec {
+        debug_assert!(start <= end && end <= self.len);
+        let mut out = BitVec::zeros(end - start);
+        // Word-aligned fast path when start is a multiple of 64.
+        if start % 64 == 0 {
+            let w0 = start / 64;
+            let n_words = out.words.len();
+            out.words.copy_from_slice(&self.words[w0..w0 + n_words]);
+            // Mask tail bits beyond the new length.
+            let tail = out.len % 64;
+            if tail != 0 {
+                if let Some(last) = out.words.last_mut() {
+                    *last &= (1u64 << tail) - 1;
+                }
+            }
+        } else {
+            for i in start..end {
+                if self.get(i) {
+                    out.set(i - start);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Serialized size in bytes (for the space-overhead experiment).
+    pub fn approx_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl FromIterator<usize> for BitVec {
+    /// Collects set-bit indices; the length becomes `max + 1` (or 0).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let len = indices.iter().max().map_or(0, |m| m + 1);
+        let mut bv = BitVec::zeros(len);
+        for i in indices {
+            bv.set(i);
+        }
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bv = BitVec::zeros(130);
+        assert_eq!(bv.len(), 130);
+        bv.set(0);
+        bv.set(64);
+        bv.set(129);
+        assert!(bv.get(0) && bv.get(64) && bv.get(129));
+        assert!(!bv.get(1));
+        assert_eq!(bv.count_ones(), 3);
+        bv.clear(64);
+        assert!(!bv.get(64));
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    fn and_or_counts() {
+        let mut a = BitVec::zeros(100);
+        let mut b = BitVec::zeros(100);
+        for i in (0..100).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..100).step_by(3) {
+            b.set(i);
+        }
+        // multiples of 6 in [0, 100): 17 values
+        assert_eq!(a.and_count(&b), 17);
+        assert_eq!(a.or_count(&b), 50 + 34 - 17);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = BitVec::zeros(10);
+        let mut b = BitVec::zeros(10);
+        a.set(1);
+        b.set(2);
+        a.or_assign(&b);
+        assert!(a.get(1) && a.get(2));
+        a.and_assign(&b);
+        assert!(!a.get(1) && a.get(2));
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let mut bv = BitVec::zeros(200);
+        for i in [5usize, 63, 64, 65, 199] {
+            bv.set(i);
+        }
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(ones, vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn permuted_moves_bits() {
+        let mut bv = BitVec::zeros(4);
+        bv.set(0);
+        bv.set(2);
+        // reverse permutation
+        let out = bv.permuted(&[3, 2, 1, 0]);
+        assert!(out.get(3) && out.get(1));
+        assert_eq!(out.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let bv: BitVec = [3usize, 7, 1].into_iter().collect();
+        assert_eq!(bv.len(), 8);
+        assert_eq!(bv.count_ones(), 3);
+        assert!(bv.get(1) && bv.get(3) && bv.get(7));
+    }
+
+    #[test]
+    fn slice_aligned_and_unaligned() {
+        let mut bv = BitVec::zeros(200);
+        for i in [0usize, 63, 64, 100, 130, 199] {
+            bv.set(i);
+        }
+        // Aligned slice.
+        let s = bv.slice(64, 192);
+        assert_eq!(s.len(), 128);
+        let ones: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(ones, vec![0, 36, 66]);
+        // Unaligned slice.
+        let s2 = bv.slice(63, 131);
+        let ones2: Vec<usize> = s2.iter_ones().collect();
+        assert_eq!(ones2, vec![0, 1, 37, 67]);
+        // Full slice is identity.
+        assert_eq!(bv.slice(0, 200), bv);
+        // Empty slice.
+        assert_eq!(bv.slice(50, 50).len(), 0);
+    }
+
+    #[test]
+    fn slice_aligned_masks_tail() {
+        let mut bv = BitVec::zeros(128);
+        bv.set(64);
+        bv.set(100);
+        let s = bv.slice(64, 96); // aligned start, tail within word
+        assert_eq!(s.count_ones(), 1);
+        assert!(s.get(0));
+    }
+
+    #[test]
+    fn empty() {
+        let bv = BitVec::zeros(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Local critical-point classification for PL functions on graphs.
+//!
+//! On a graph (1-complex), the link of a vertex is its neighbour set, so
+//! extrema admit a purely local test (paper Definition 4 extended with the
+//! simulated-perturbation total order of Appendix B.1): a vertex is a
+//! maximum when every defined neighbour is smaller under the total order,
+//! and a minimum when every defined neighbour is larger. Saddles, by
+//! contrast, depend on global component structure and are identified during
+//! the merge-tree sweep ([`crate::merge_tree`]); this module handles only
+//! the local classification used for queries and validation.
+
+use crate::graph::DomainGraph;
+use serde::{Deserialize, Serialize};
+
+/// Local critical-point classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CriticalKind {
+    /// All defined neighbours are smaller (upper link empty).
+    Maximum,
+    /// All defined neighbours are larger (lower link empty).
+    Minimum,
+}
+
+/// Total order with simulated perturbation: `(f, index)` lexicographic.
+#[inline]
+pub fn perturbed_less(f: &[f64], a: u32, b: u32) -> bool {
+    let (fa, fb) = (f[a as usize], f[b as usize]);
+    fa < fb || (fa == fb && a < b)
+}
+
+/// Classifies the local extrema of `f` on `graph`. Vertices with undefined
+/// (NaN) values are skipped; an isolated defined vertex counts as both a
+/// maximum and a minimum and is reported as `Maximum` first, `Minimum`
+/// second.
+pub fn classify_extrema(graph: &DomainGraph, f: &[f64]) -> Vec<(u32, CriticalKind)> {
+    let mut out = Vec::new();
+    for v in 0..graph.vertex_count() as u32 {
+        if f[v as usize].is_nan() {
+            continue;
+        }
+        let mut has_upper = false;
+        let mut has_lower = false;
+        for &u in graph.neighbors(v as usize) {
+            if f[u as usize].is_nan() {
+                continue;
+            }
+            if perturbed_less(f, v, u) {
+                has_upper = true;
+            } else {
+                has_lower = true;
+            }
+        }
+        if !has_upper {
+            out.push((v, CriticalKind::Maximum));
+        }
+        if !has_lower {
+            out.push((v, CriticalKind::Minimum));
+        }
+    }
+    out
+}
+
+/// Convenience: just the maxima vertices.
+pub fn maxima(graph: &DomainGraph, f: &[f64]) -> Vec<u32> {
+    classify_extrema(graph, f)
+        .into_iter()
+        .filter(|(_, k)| *k == CriticalKind::Maximum)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Convenience: just the minima vertices.
+pub fn minima(graph: &DomainGraph, f: &[f64]) -> Vec<u32> {
+    classify_extrema(graph, f)
+        .into_iter()
+        .filter(|(_, k)| *k == CriticalKind::Minimum)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge_tree::MergeTree;
+
+    #[test]
+    fn chain_extrema() {
+        let g = DomainGraph::time_series(9);
+        let f = vec![0.0, 5.0, 2.5, 4.5, 3.0, 4.0, 1.0, 6.0, 0.5];
+        assert_eq!(maxima(&g, &f), vec![1, 3, 5, 7]);
+        assert_eq!(minima(&g, &f), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn plateau_resolved_by_perturbation() {
+        let g = DomainGraph::time_series(4);
+        let f = vec![1.0, 2.0, 2.0, 1.0];
+        // The plateau 2.0, 2.0: index tie-break makes vertex 2 the maximum.
+        assert_eq!(maxima(&g, &f), vec![2]);
+    }
+
+    #[test]
+    fn local_maxima_match_join_tree_leaves() {
+        let g = DomainGraph::grid(6, 6, 4);
+        let f: Vec<f64> = (0..g.vertex_count())
+            .map(|v| (((v * 2_654_435_761) % 10_007) as f64).sin())
+            .collect();
+        let mut local = maxima(&g, &f);
+        let mut leaves = MergeTree::join(&g, &f).leaves;
+        local.sort_unstable();
+        leaves.sort_unstable();
+        assert_eq!(local, leaves);
+    }
+
+    #[test]
+    fn local_minima_match_split_tree_leaves() {
+        let g = DomainGraph::grid(5, 7, 3);
+        let f: Vec<f64> = (0..g.vertex_count())
+            .map(|v| (((v * 40_503) % 9_973) as f64).cos())
+            .collect();
+        let mut local = minima(&g, &f);
+        let mut leaves = MergeTree::split(&g, &f).leaves;
+        local.sort_unstable();
+        leaves.sort_unstable();
+        assert_eq!(local, leaves);
+    }
+
+    #[test]
+    fn nan_neighbors_ignored() {
+        let g = DomainGraph::time_series(3);
+        let f = vec![1.0, f64::NAN, 0.5];
+        let all = classify_extrema(&g, &f);
+        // Both defined vertices are isolated: each is max and min.
+        assert_eq!(all.len(), 4);
+    }
+}

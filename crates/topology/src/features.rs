@@ -1,0 +1,237 @@
+//! Feature sets: positive/negative, salient/extreme (paper Definitions 6–7).
+//!
+//! A *positive feature* is a spatio-temporal point in the super-level set at
+//! θ⁺; a *negative feature* is a point in the sub-level set at θ⁻. The
+//! framework precomputes both the salient and the extreme feature sets per
+//! scalar function during indexing and stores them as bit vectors.
+
+use crate::bitvec::BitVec;
+use crate::graph::DomainGraph;
+use crate::level_set::{sub_level_set_seasonal, super_level_set_seasonal};
+use crate::merge_tree::MergeTree;
+use crate::threshold::SeasonalThresholds;
+use serde::{Deserialize, Serialize};
+
+/// Salient vs extreme features — relationships are evaluated separately for
+/// each class (paper Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureClass {
+    /// Features beyond the persistence-derived salient thresholds.
+    Salient,
+    /// Outliers among salient features (box-plot fences).
+    Extreme,
+}
+
+impl FeatureClass {
+    /// Both classes.
+    pub const ALL: [FeatureClass; 2] = [FeatureClass::Salient, FeatureClass::Extreme];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureClass::Salient => "salient",
+            FeatureClass::Extreme => "extreme",
+        }
+    }
+}
+
+/// Positive and negative features of one scalar function at one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// Super-level-set membership (Definition 6).
+    pub pos: BitVec,
+    /// Sub-level-set membership (Definition 7).
+    pub neg: BitVec,
+}
+
+impl FeatureSet {
+    /// An empty feature set over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            pos: BitVec::zeros(n),
+            neg: BitVec::zeros(n),
+        }
+    }
+
+    /// `Σᵢ` — all feature points (positive or negative). Positive and
+    /// negative sets are disjoint whenever θ⁻ < θ⁺, which the threshold
+    /// construction guarantees for non-degenerate functions.
+    pub fn all(&self) -> BitVec {
+        let mut u = self.pos.clone();
+        u.or_assign(&self.neg);
+        u
+    }
+
+    /// Number of feature points.
+    pub fn count(&self) -> usize {
+        self.pos.or_count(&self.neg)
+    }
+
+    /// Applies a domain permutation to both sides (for restricted Monte
+    /// Carlo randomisation).
+    pub fn permuted(&self, perm: &[u32]) -> FeatureSet {
+        FeatureSet {
+            pos: self.pos.permuted(perm),
+            neg: self.neg.permuted(perm),
+        }
+    }
+
+    /// Crops both sides to the vertex range `[start, end)` — used to align
+    /// two functions on their overlapping time window (time-major layout
+    /// makes a step range a contiguous vertex range).
+    pub fn slice(&self, start: usize, end: usize) -> FeatureSet {
+        FeatureSet {
+            pos: self.pos.slice(start, end),
+            neg: self.neg.slice(start, end),
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.pos.approx_bytes() + self.neg.approx_bytes()
+    }
+}
+
+/// Salient and extreme feature sets for one scalar function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSets {
+    /// Features beyond the salient thresholds.
+    pub salient: FeatureSet,
+    /// Outlier features beyond the box-plot fences.
+    pub extreme: FeatureSet,
+}
+
+impl FeatureSets {
+    /// Extracts both feature classes using per-seasonal-interval thresholds
+    /// via the merge-tree index (paper Sections 3.2–3.3).
+    pub fn compute(
+        graph: &DomainGraph,
+        f: &[f64],
+        join: &MergeTree,
+        split: &MergeTree,
+        thresholds: &SeasonalThresholds,
+    ) -> Self {
+        let salient_pos = thresholds.per_step(|t| t.salient_pos);
+        let salient_neg = thresholds.per_step(|t| t.salient_neg);
+        let extreme_pos = thresholds.per_step(|t| t.extreme_pos);
+        let extreme_neg = thresholds.per_step(|t| t.extreme_neg);
+        Self {
+            salient: FeatureSet {
+                pos: super_level_set_seasonal(graph, f, join, &salient_pos),
+                neg: sub_level_set_seasonal(graph, f, split, &salient_neg),
+            },
+            extreme: FeatureSet {
+                pos: super_level_set_seasonal(graph, f, join, &extreme_pos),
+                neg: sub_level_set_seasonal(graph, f, split, &extreme_neg),
+            },
+        }
+    }
+
+    /// Picks a class.
+    pub fn class(&self, class: FeatureClass) -> &FeatureSet {
+        match class {
+            FeatureClass::Salient => &self.salient,
+            FeatureClass::Extreme => &self.extreme,
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.salient.approx_bytes() + self.extreme.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::seasonal_thresholds;
+
+    /// Flat series with two tall peaks and one deep valley.
+    fn spiky() -> (DomainGraph, Vec<f64>) {
+        let mut f = vec![0.0; 120];
+        for (i, v) in f.iter_mut().enumerate() {
+            *v = 0.2 * ((i % 5) as f64 - 2.0);
+        }
+        f[30] = 12.0;
+        f[31] = 9.0;
+        f[80] = 14.0;
+        f[60] = -11.0;
+        (DomainGraph::time_series(120), f)
+    }
+
+    fn feature_sets(g: &DomainGraph, f: &[f64]) -> FeatureSets {
+        let join = MergeTree::join(g, f);
+        let split = MergeTree::split(g, f);
+        let interval: Vec<i64> = vec![0; g.n_steps];
+        let th = seasonal_thresholds(&join, &split, g.n_regions, &interval);
+        FeatureSets::compute(g, f, &join, &split, &th)
+    }
+
+    #[test]
+    fn salient_features_cover_spikes() {
+        let (g, f) = spiky();
+        let fs = feature_sets(&g, &f);
+        assert!(fs.salient.pos.get(30), "peak at 30 must be a positive feature");
+        assert!(fs.salient.pos.get(80), "peak at 80 must be a positive feature");
+        assert!(fs.salient.neg.get(60), "valley at 60 must be a negative feature");
+        // The flat ripple must not be salient.
+        assert!(!fs.salient.pos.get(0));
+        assert!(!fs.salient.neg.get(1));
+    }
+
+    #[test]
+    fn pos_neg_disjoint() {
+        let (g, f) = spiky();
+        let fs = feature_sets(&g, &f);
+        assert_eq!(fs.salient.pos.and_count(&fs.salient.neg), 0);
+        assert_eq!(fs.extreme.pos.and_count(&fs.extreme.neg), 0);
+    }
+
+    #[test]
+    fn extreme_subset_of_nothing_looser_than_salient() {
+        // Extreme thresholds are at least as strict as salient ones, so the
+        // extreme set is a subset of the salient set.
+        let (g, f) = spiky();
+        let fs = feature_sets(&g, &f);
+        for v in fs.extreme.pos.iter_ones() {
+            assert!(fs.salient.pos.get(v), "extreme pos {v} not salient");
+        }
+        for v in fs.extreme.neg.iter_ones() {
+            assert!(fs.salient.neg.get(v), "extreme neg {v} not salient");
+        }
+    }
+
+    #[test]
+    fn all_and_count() {
+        let (g, f) = spiky();
+        let fs = feature_sets(&g, &f);
+        let all = fs.salient.all();
+        assert_eq!(all.count_ones(), fs.salient.count());
+        assert_eq!(
+            fs.salient.count(),
+            fs.salient.pos.count_ones() + fs.salient.neg.count_ones()
+        );
+    }
+
+    #[test]
+    fn permuted_preserves_counts() {
+        let (g, f) = spiky();
+        let fs = feature_sets(&g, &f);
+        let n = g.vertex_count();
+        let perm: Vec<u32> = (0..n as u32).map(|v| (v + 17) % n as u32).collect();
+        let p = fs.salient.permuted(&perm);
+        assert_eq!(p.pos.count_ones(), fs.salient.pos.count_ones());
+        assert_eq!(p.neg.count_ones(), fs.salient.neg.count_ones());
+        // Peak at 30 moved to 47.
+        assert!(p.pos.get(47));
+    }
+
+    #[test]
+    fn class_accessor() {
+        let (g, f) = spiky();
+        let fs = feature_sets(&g, &f);
+        assert_eq!(fs.class(FeatureClass::Salient), &fs.salient);
+        assert_eq!(fs.class(FeatureClass::Extreme), &fs.extreme);
+        assert_eq!(FeatureClass::Salient.label(), "salient");
+    }
+}

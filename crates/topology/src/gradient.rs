@@ -1,0 +1,161 @@
+//! Gradient-based features (paper Section 8, "Types of Features").
+//!
+//! Single-threshold level-set features miss unusual patterns whose absolute
+//! value stays inside the normal band — e.g. a sudden surge of taxi trips
+//! in a normally calm area. The paper proposes deriving a *gradient*
+//! function over space and time: high-gradient vertices mark sudden
+//! increases/decreases and can then be fed through the very same merge-tree
+//! → persistence-threshold → feature pipeline.
+//!
+//! On the PL domain graph the discrete gradient magnitude at a vertex is
+//! the largest absolute difference to any defined neighbour; we also expose
+//! the signed forward temporal derivative, which preserves the
+//! rising/falling distinction the positive/negative feature split needs.
+
+use crate::graph::DomainGraph;
+
+/// Discrete gradient magnitude: `max_{u ∈ N(v)} |f(u) − f(v)|`.
+///
+/// Vertices with undefined values (or with no defined neighbours) map to
+/// NaN, so the output is a valid scalar function for the merge-tree
+/// pipeline.
+pub fn gradient_magnitude(graph: &DomainGraph, f: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(f.len(), graph.vertex_count());
+    (0..f.len())
+        .map(|v| {
+            if f[v].is_nan() {
+                return f64::NAN;
+            }
+            let mut best = f64::NAN;
+            for &u in graph.neighbors(v) {
+                let fu = f[u as usize];
+                if fu.is_nan() {
+                    continue;
+                }
+                let d = (fu - f[v]).abs();
+                if best.is_nan() || d > best {
+                    best = d;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Signed forward temporal derivative: `f(x, z+1) − f(x, z)`; the final
+/// step and undefined points are NaN.
+///
+/// Positive features of this function are sudden *increases*, negative
+/// features sudden *decreases* — a drop-in replacement scalar function for
+/// the event-style analyses of Section 8.
+pub fn temporal_derivative(graph: &DomainGraph, f: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(f.len(), graph.vertex_count());
+    let n = graph.n_regions;
+    (0..f.len())
+        .map(|v| {
+            let (_, z) = graph.region_step(v);
+            if z + 1 >= graph.n_steps {
+                return f64::NAN;
+            }
+            let next = f[v + n];
+            if f[v].is_nan() || next.is_nan() {
+                f64::NAN
+            } else {
+                next - f[v]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge_tree::MergeTree;
+    use crate::threshold::seasonal_thresholds;
+    use crate::features::FeatureSets;
+
+    #[test]
+    fn magnitude_on_a_step_function() {
+        let g = DomainGraph::time_series(6);
+        let f = vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let grad = gradient_magnitude(&g, &f);
+        assert_eq!(grad, vec![0.0, 0.0, 4.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn magnitude_skips_nan() {
+        let g = DomainGraph::time_series(4);
+        let f = vec![1.0, f64::NAN, 3.0, 3.5];
+        let grad = gradient_magnitude(&g, &f);
+        assert!(grad[0].is_nan(), "no defined neighbour");
+        assert!(grad[1].is_nan(), "undefined vertex");
+        assert_eq!(grad[2], 0.5);
+    }
+
+    #[test]
+    fn temporal_derivative_signs() {
+        let g = DomainGraph::time_series(5);
+        let f = vec![0.0, 2.0, 1.0, 1.0, 4.0];
+        let d = temporal_derivative(&g, &f);
+        assert_eq!(d[0], 2.0);
+        assert_eq!(d[1], -1.0);
+        assert_eq!(d[2], 0.0);
+        assert_eq!(d[3], 3.0);
+        assert!(d[4].is_nan(), "last step has no successor");
+    }
+
+    #[test]
+    fn derivative_respects_regions() {
+        // 2 regions × 3 steps: derivative is within-region across steps.
+        let g = DomainGraph::new(&[vec![1], vec![0]], 3);
+        let f = vec![
+            0.0, 10.0, // step 0
+            1.0, 20.0, // step 1
+            3.0, 15.0, // step 2
+        ];
+        let d = temporal_derivative(&g, &f);
+        assert_eq!(d[0], 1.0);
+        assert_eq!(d[1], 10.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[3], -5.0);
+        assert!(d[4].is_nan() && d[5].is_nan());
+    }
+
+    /// The Section 8 motivation end-to-end: a surge inside the normal value
+    /// band is invisible to level-set features of `f` but becomes a salient
+    /// feature of the gradient function.
+    #[test]
+    fn surge_within_normal_band_found_via_gradient() {
+        let n = 400;
+        let g = DomainGraph::time_series(n);
+        // Baseline oscillates between 0 and 100 (daily rhythm); the surge
+        // at t=200 jumps from a calm 10 to 60 — well inside [0, 100].
+        let mut f: Vec<f64> = (0..n)
+            .map(|i| 50.0 + 50.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        f[200] = 10.0;
+        f[201] = 60.0; // sudden +50 jump in one step
+        f[202] = 12.0;
+
+        let compute_features = |values: &[f64]| {
+            let join = MergeTree::join(&g, values);
+            let split = MergeTree::split(&g, values);
+            let th = seasonal_thresholds(&join, &split, 1, &vec![0i64; n]);
+            FeatureSets::compute(&g, values, &join, &split, &th)
+        };
+        // Level-set features of f do not flag the surge (60 < the ~100
+        // peaks that define θ+).
+        let direct = compute_features(&f);
+        assert!(
+            !direct.salient.pos.get(201),
+            "surge should be invisible to single-threshold features"
+        );
+        // Gradient features do: the jump dwarfs the smooth rhythm's slope.
+        let grad = gradient_magnitude(&g, &f);
+        let gfeat = compute_features(&grad);
+        assert!(
+            gfeat.salient.pos.get(201) || gfeat.salient.pos.get(200),
+            "surge must be a salient gradient feature"
+        );
+    }
+}

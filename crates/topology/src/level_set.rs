@@ -1,0 +1,278 @@
+//! Output-sensitive level-set queries (paper Section 3.2).
+//!
+//! Given a merge tree, the super-level set `f⁻¹([θ, ∞))` is extracted by a
+//! descending traversal that starts at the maxima with `f ≥ θ` (the join
+//! tree's leaves, stored in sweep order so the valid prefix is found in
+//! `O(|V⁺|)`) and floods across neighbours still above the threshold. Only
+//! vertices belonging to the answer are touched, so query time is linear in
+//! the output size. Sub-level sets are symmetric via the split tree.
+//!
+//! Seasonal variants take a per-time-step threshold (paper Section 3.3,
+//! "Adjusting for Seasonal Variations"): each vertex is compared against
+//! the threshold of the seasonal interval its time step falls in.
+
+use crate::bitvec::BitVec;
+use crate::graph::DomainGraph;
+use crate::merge_tree::MergeTree;
+
+/// Extracts the super-level set at `theta` as a bit vector over vertices.
+///
+/// `tree` must be the join tree of `f`.
+pub fn super_level_set(graph: &DomainGraph, f: &[f64], tree: &MergeTree, theta: f64) -> BitVec {
+    per_step_traverse(graph, f, &tree.leaves, &|v| f[v] >= theta)
+}
+
+/// Extracts the sub-level set at `theta`. `tree` must be the split tree.
+pub fn sub_level_set(graph: &DomainGraph, f: &[f64], tree: &MergeTree, theta: f64) -> BitVec {
+    per_step_traverse(graph, f, &tree.leaves, &|v| f[v] <= theta)
+}
+
+/// Super-level set with a per-time-step threshold: vertex `(x, z)` is in
+/// the set iff `f(x, z) >= theta_of_step[z]` (NaN threshold = no features
+/// in that step).
+///
+/// With per-interval thresholds a feature component adjacent to an interval
+/// boundary need not contain a local maximum of `f` (its highest vertex can
+/// have a larger neighbour that fails the *other* interval's threshold), so
+/// the traversal seeds from the tree leaves *and* from member vertices at
+/// interval-boundary steps. The extra seeding costs `O(n_regions ×
+/// boundaries)`, far below the domain size, preserving output sensitivity
+/// in practice.
+pub fn super_level_set_seasonal(
+    graph: &DomainGraph,
+    f: &[f64],
+    tree: &MergeTree,
+    theta_of_step: &[f64],
+) -> BitVec {
+    debug_assert_eq!(theta_of_step.len(), graph.n_steps);
+    let n = graph.n_regions;
+    let member = |v: usize| {
+        let theta = theta_of_step[v / n];
+        !theta.is_nan() && f[v] >= theta
+    };
+    let seeds = seasonal_seeds(graph, theta_of_step, &tree.leaves, &member);
+    per_step_traverse(graph, f, &seeds, &member)
+}
+
+/// Sub-level set with a per-time-step threshold.
+pub fn sub_level_set_seasonal(
+    graph: &DomainGraph,
+    f: &[f64],
+    tree: &MergeTree,
+    theta_of_step: &[f64],
+) -> BitVec {
+    debug_assert_eq!(theta_of_step.len(), graph.n_steps);
+    let n = graph.n_regions;
+    let member = |v: usize| {
+        let theta = theta_of_step[v / n];
+        !theta.is_nan() && f[v] <= theta
+    };
+    let seeds = seasonal_seeds(graph, theta_of_step, &tree.leaves, &member);
+    per_step_traverse(graph, f, &seeds, &member)
+}
+
+/// Tree leaves plus member vertices at steps where the threshold changes.
+fn seasonal_seeds(
+    graph: &DomainGraph,
+    theta_of_step: &[f64],
+    leaves: &[u32],
+    member: &dyn Fn(usize) -> bool,
+) -> Vec<u32> {
+    let n = graph.n_regions;
+    let mut seeds = leaves.to_vec();
+    for z in 1..graph.n_steps {
+        if theta_of_step[z].to_bits() != theta_of_step[z - 1].to_bits() {
+            for x in 0..n {
+                for step in [z - 1, z] {
+                    let v = step * n + x;
+                    if member(v) {
+                        seeds.push(v as u32);
+                    }
+                }
+            }
+        }
+    }
+    seeds
+}
+
+/// Flood traversal from the extrema that satisfy the membership predicate.
+///
+/// Every connected component of the answer contains at least one extremum
+/// of the appropriate kind (its own max/min), so seeding from the tree's
+/// leaves covers the full level set while touching only member vertices —
+/// the output-sensitive property the paper's index provides.
+fn per_step_traverse(
+    graph: &DomainGraph,
+    f: &[f64],
+    leaves: &[u32],
+    member: &dyn Fn(usize) -> bool,
+) -> BitVec {
+    let mut out = BitVec::zeros(graph.vertex_count());
+    let mut stack: Vec<u32> = Vec::new();
+    for &leaf in leaves {
+        let lv = leaf as usize;
+        if f[lv].is_nan() || !member(lv) || out.get(lv) {
+            continue;
+        }
+        out.set(lv);
+        stack.push(leaf);
+        while let Some(v) = stack.pop() {
+            for &u in graph.neighbors(v as usize) {
+                let ui = u as usize;
+                if !out.get(ui) && !f[ui].is_nan() && member(ui) {
+                    out.set(ui);
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge_tree::MergeTree;
+
+    fn figure2() -> (DomainGraph, Vec<f64>) {
+        let g = DomainGraph::time_series(9);
+        let f = vec![0.0, 5.0, 2.5, 4.5, 3.0, 4.0, 1.0, 6.0, 0.5];
+        (g, f)
+    }
+
+    #[test]
+    fn super_level_matches_brute_force() {
+        let (g, f) = figure2();
+        let tree = MergeTree::join(&g, &f);
+        for theta in [-1.0, 0.0, 0.9, 2.0, 3.5, 4.5, 5.5, 6.0, 7.0] {
+            let got = super_level_set(&g, &f, &tree, theta);
+            for v in 0..f.len() {
+                assert_eq!(
+                    got.get(v),
+                    f[v] >= theta,
+                    "theta={theta} vertex={v} value={}",
+                    f[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sub_level_matches_brute_force() {
+        let (g, f) = figure2();
+        let tree = MergeTree::split(&g, &f);
+        for theta in [-1.0, 0.0, 0.6, 1.5, 3.0, 5.0, 6.5] {
+            let got = sub_level_set(&g, &f, &tree, theta);
+            for v in 0..f.len() {
+                assert_eq!(got.get(v), f[v] <= theta, "theta={theta} vertex={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_component_counts() {
+        // Paper Figure 2(b)/(c): 4 components at f1, 3 at f2.
+        let (g, f) = figure2();
+        let tree = MergeTree::join(&g, &f);
+        // f1 just below all four maxima: e.g. 3.5 keeps v2, v4, v6, v8
+        // separated (saddles are at 3.0, 2.5, 1.0).
+        let at_f1 = super_level_set(&g, &f, &tree, 3.5);
+        assert_eq!(count_components(&g, &at_f1), 4);
+        // f2 between the v5 saddle (3.0) and the v3 saddle (2.5): v4 and v6
+        // have merged, 3 components remain.
+        let at_f2 = super_level_set(&g, &f, &tree, 2.7);
+        assert_eq!(count_components(&g, &at_f2), 3);
+    }
+
+    fn count_components(g: &DomainGraph, set: &BitVec) -> usize {
+        let mut seen = BitVec::zeros(set.len());
+        let mut n = 0;
+        let mut stack = Vec::new();
+        for v in set.iter_ones() {
+            if seen.get(v) {
+                continue;
+            }
+            n += 1;
+            seen.set(v);
+            stack.push(v);
+            while let Some(x) = stack.pop() {
+                for &u in g.neighbors(x) {
+                    let ui = u as usize;
+                    if set.get(ui) && !seen.get(ui) {
+                        seen.set(ui);
+                        stack.push(ui);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn grid_super_level() {
+        let g = DomainGraph::grid(4, 4, 2);
+        let f: Vec<f64> = (0..g.vertex_count())
+            .map(|v| ((v * 7 + 3) % 11) as f64)
+            .collect();
+        let tree = MergeTree::join(&g, &f);
+        let got = super_level_set(&g, &f, &tree, 8.0);
+        for v in 0..f.len() {
+            assert_eq!(got.get(v), f[v] >= 8.0, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn nan_vertices_never_members() {
+        let g = DomainGraph::time_series(5);
+        let f = vec![5.0, f64::NAN, 4.0, 3.0, 6.0];
+        let tree = MergeTree::join(&g, &f);
+        let got = super_level_set(&g, &f, &tree, 2.0);
+        assert!(got.get(0) && got.get(2) && got.get(3) && got.get(4));
+        assert!(!got.get(1));
+    }
+
+    #[test]
+    fn seasonal_thresholds_vary_by_step() {
+        // One region, 6 steps, two "seasons" of 3 steps each.
+        let g = DomainGraph::time_series(6);
+        let f = vec![1.0, 5.0, 2.0, 10.0, 50.0, 20.0];
+        let tree = MergeTree::join(&g, &f);
+        // Season 1 threshold 4.0, season 2 threshold 40.0.
+        let theta = vec![4.0, 4.0, 4.0, 40.0, 40.0, 40.0];
+        let got = super_level_set_seasonal(&g, &f, &tree, &theta);
+        let members: Vec<usize> = got.iter_ones().collect();
+        assert_eq!(members, vec![1, 4]);
+    }
+
+    #[test]
+    fn seasonal_component_without_local_maximum_is_found() {
+        // f increases monotonically; the only local max is the last vertex,
+        // which fails its own interval's threshold. The component {0, 1}
+        // has no local max of f and is reachable only via boundary seeding.
+        let g = DomainGraph::time_series(4);
+        let f = vec![1.0, 2.0, 3.0, 4.0];
+        let tree = MergeTree::join(&g, &f);
+        let theta = vec![0.0, 0.0, 100.0, 100.0];
+        let got = super_level_set_seasonal(&g, &f, &tree, &theta);
+        let members: Vec<usize> = got.iter_ones().collect();
+        assert_eq!(members, vec![0, 1]);
+    }
+
+    #[test]
+    fn seasonal_nan_threshold_blocks_step() {
+        let g = DomainGraph::time_series(4);
+        let f = vec![10.0, 20.0, 30.0, 40.0];
+        let tree = MergeTree::join(&g, &f);
+        let theta = vec![5.0, f64::NAN, 5.0, 5.0];
+        let got = super_level_set_seasonal(&g, &f, &tree, &theta);
+        assert!(got.get(0) && !got.get(1) && got.get(2) && got.get(3));
+    }
+
+    #[test]
+    fn empty_result_touches_nothing() {
+        let (g, f) = figure2();
+        let tree = MergeTree::join(&g, &f);
+        let got = super_level_set(&g, &f, &tree, 100.0);
+        assert_eq!(got.count_ones(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # polygamy-topology — computational-topology substrate
+//!
+//! The Data Polygamy framework (SIGMOD 2016) identifies *salient features* of
+//! a time-varying scalar function — spatio-temporal regions behaving unlike
+//! their neighbourhood — using computational topology. This crate implements
+//! that machinery over arbitrary planar domain graphs:
+//!
+//! * [`graph`] — the CSR domain graph `G = (V, ES ∪ ET)` of paper
+//!   Section 3.1: spatial region adjacency replicated per time step plus
+//!   temporal edges between consecutive steps;
+//! * [`union_find`] — the union-find structure behind merge-tree
+//!   construction;
+//! * [`merge_tree`] — join/split trees computed by the paper's Procedure
+//!   *ComputeJoinTree* in `O(N log N + N α(N))`, with creator–destroyer
+//!   persistence pairing recorded during the sweep;
+//! * [`persistence`] — persistence pairs/diagrams (paper Figure 5);
+//! * [`threshold`] — automatic feature thresholds: exact 1-D 2-means over
+//!   persistence values for *salient* features, box-plot outlier fences for
+//!   *extreme* features, per seasonal interval (paper Section 3.3);
+//! * [`level_set`] — output-sensitive super-/sub-level-set extraction
+//!   (paper Section 3.2);
+//! * [`features`] — positive/negative feature sets as packed bit vectors;
+//! * [`bitvec`] — the packed bit-set representation (paper Appendix C).
+
+pub mod bitvec;
+pub mod criticals;
+pub mod features;
+pub mod gradient;
+pub mod graph;
+pub mod level_set;
+pub mod merge_tree;
+pub mod persistence;
+pub mod threshold;
+pub mod union_find;
+
+pub use bitvec::BitVec;
+pub use criticals::{classify_extrema, CriticalKind};
+pub use features::{FeatureClass, FeatureSet, FeatureSets};
+pub use gradient::{gradient_magnitude, temporal_derivative};
+pub use graph::DomainGraph;
+pub use level_set::{sub_level_set, super_level_set};
+pub use merge_tree::{Direction, MergeTree, TreeNode};
+pub use persistence::{PersistencePair, PersistenceDiagram};
+pub use threshold::{compute_thresholds, seasonal_thresholds, SeasonalThresholds, Thresholds};
+pub use union_find::UnionFind;

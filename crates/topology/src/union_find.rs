@@ -1,0 +1,118 @@
+//! Union-find (disjoint set union) with union by rank and path compression.
+//!
+//! Merge-tree construction performs `O(N)` union/find operations over the
+//! sweep (paper Appendix B.2), giving the `N α(N)` term of its complexity.
+
+/// Disjoint-set-union over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path compression (iterative
+    /// two-pass to avoid recursion on long chains).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        hi
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_chains() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9u32 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.connected(0, 9));
+        let root = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+
+    #[test]
+    fn union_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+        assert!(!uf.connected(0, 2));
+    }
+
+    #[test]
+    fn long_path_compression() {
+        // A pathological chain should still resolve quickly and correctly.
+        let n = 100_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..(n as u32 - 1) {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.connected(0, n as u32 - 1));
+    }
+}

@@ -1,0 +1,78 @@
+//! Hypothesis testing (paper Sections 1 + 6.3): "you can't find a taxi in
+//! the rain". Tests the target-earner hypothesis by querying for
+//! relationships between the taxi and weather data sets and reading the
+//! signs, reproducing the paper's argument against Farber's OLS analysis.
+//!
+//! ```text
+//! cargo run --release --example hypothesis_testing [-- --quick]
+//! ```
+
+use polygamy_core::prelude::*;
+use polygamy_datagen::{urban_collection, UrbanConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let collection = urban_collection(UrbanConfig {
+        n_years: 1,
+        scale: if quick { 0.04 } else { 0.15 },
+        extra_weather_attrs: 0,
+        ..UrbanConfig::default()
+    });
+    let mut dp = DataPolygamy::new(collection.geometry().clone(), Config::default());
+    for d in collection.datasets.iter() {
+        dp.add_dataset(d.clone());
+    }
+    dp.build_index();
+
+    println!("Hypothesis: taxis are scarce when it rains because drivers");
+    println!("reach a daily income target faster (higher demand) and go home.\n");
+
+    let clause = Clause::default()
+        .permutations(if quick { 100 } else { 500 })
+        .include_insignificant();
+    let rels = dp
+        .query(&RelationshipQuery::between(&["taxi"], &["weather"]).with_clause(clause))
+        .expect("query succeeds");
+
+    let show = |lfn: &str, rfn: &str, question: &str| {
+        println!("{question}");
+        let mut any = false;
+        for r in rels.iter().filter(|r| {
+            let l = r.left.to_string();
+            let rr = r.right.to_string();
+            (l == lfn && rr == rfn) || (l == rfn && rr == lfn)
+        }) {
+            if r.significant || r.score().abs() >= 0.5 {
+                println!("  {r}");
+                any = true;
+            }
+        }
+        if !any {
+            println!("  (no strong relationship at any resolution)");
+        }
+        println!();
+    };
+
+    show(
+        "taxi.density",
+        "weather.avg(precipitation)",
+        "Q1: do trips drop when it rains? (paper: τ=-0.62, ρ=0.75)",
+    );
+    show(
+        "taxi.avg(fare)",
+        "weather.avg(precipitation)",
+        "Q2: do fares rise when it rains? (paper: τ=0.73, ρ=0.70)",
+    );
+    show(
+        "taxi.unique",
+        "weather.avg(precipitation)",
+        "Q3: do fewer distinct taxis work in the rain? (paper: τ=-0.81, day)",
+    );
+
+    println!("Reading: a negative trips~rain relationship together with a");
+    println!("positive fare~rain relationship is consistent with the");
+    println!("target-earner hypothesis. The paper notes Farber's OLS found");
+    println!("no correlation because it ignored rainfall amounts and pooled");
+    println!("all time periods — exactly the global-view failure the");
+    println!("salient-feature approach avoids.");
+}

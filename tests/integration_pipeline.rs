@@ -1,0 +1,197 @@
+//! Cross-crate pipeline integration: correctness (paper Section 6.2),
+//! robustness scaffolding, index round-trips and space accounting.
+
+use polygamy_core::pipeline::{density_job, field_features};
+use polygamy_core::prelude::*;
+use polygamy_core::relationship::evaluate_features;
+use polygamy_datagen::{add_iqr_noise, urban_collection, UrbanConfig};
+use polygamy_stdata::aggregate;
+
+fn small_collection() -> polygamy_datagen::UrbanCollection {
+    urban_collection(UrbanConfig {
+        n_years: 2,
+        scale: 0.03,
+        extra_weather_attrs: 0,
+        ..UrbanConfig::default()
+    })
+}
+
+/// Paper Section 6.2 (Correctness): the 2011 and 2012 taxi density
+/// functions, modelled as separate data sets starting at the same relative
+/// time, must be strongly and significantly positively related.
+#[test]
+fn correctness_year_over_year_taxi_density() {
+    let c = small_collection();
+    let taxi = c.dataset("taxi").unwrap();
+    let years = taxi.split_by_year();
+    assert_eq!(years.len(), 2);
+    // Align both years on the same clock by shifting 2012 back by a year
+    // (365 days; the paper aligns "starting at the same day and time").
+    let (y1, d1) = &years[0];
+    let (_y2, d2) = &years[1];
+    let shift = (polygamy_stdata::CivilDate::new(y1 + 1, 1, 1).timestamp()
+        - polygamy_stdata::CivilDate::new(*y1, 1, 1).timestamp()) as i64;
+    let mut shifted = polygamy_stdata::DatasetBuilder::new(polygamy_stdata::DatasetMeta {
+        name: "taxi-next-shifted".into(),
+        ..d2.meta.clone()
+    });
+    for a in &d2.attributes {
+        shifted = shifted.attribute(a.clone());
+    }
+    let mut b = shifted;
+    for i in 0..d2.len() {
+        let vals: Vec<f64> = (0..d2.attribute_count())
+            .map(|a| d2.value_at(i, a).encode())
+            .collect();
+        b.push(d2.locations()[i], d2.times()[i] - shift, &vals)
+            .unwrap();
+    }
+    let d2_shifted = b.build().unwrap();
+
+    let mut dp = DataPolygamy::new(
+        c.geometry().clone(),
+        polygamy_core::framework::Config::default(),
+    );
+    dp.add_dataset(d1.clone());
+    dp.add_dataset(d2_shifted);
+    dp.build_index();
+    let rels = dp
+        .query(
+            &RelationshipQuery::all().with_clause(Clause::default().permutations(150)),
+        )
+        .unwrap();
+    let densities = rels
+        .iter()
+        .find(|r| r.left.function == "density" && r.right.function == "density")
+        .unwrap_or_else(|| panic!("no density~density relationship found"));
+    assert!(
+        densities.score() > 0.7,
+        "year-over-year τ = {} (paper: 0.99–1.0)",
+        densities.score()
+    );
+    assert!(densities.significant);
+}
+
+/// Robustness (paper Section 6.2, Figure 12): relationship between a field
+/// and its noisy copy stays strongly positive under IQR-bounded noise.
+#[test]
+fn robustness_noise_keeps_self_relationship() {
+    let c = small_collection();
+    let taxi = c.dataset("taxi").unwrap();
+    let field = aggregate(
+        taxi,
+        &c.geometry().city,
+        TemporalResolution::Hour,
+        FunctionKind::Density,
+        None,
+    )
+    .unwrap();
+    let adjacency = vec![vec![]];
+    let (clean, _, _) = field_features(&adjacency, &field);
+    for frac in [0.02, 0.05, 0.10] {
+        let noisy_field = add_iqr_noise(&field, frac, 99);
+        let (noisy, _, _) = field_features(&adjacency, &noisy_field);
+        let m = evaluate_features(&clean.salient, &noisy.salient);
+        assert!(
+            m.score > 0.8,
+            "noise {frac}: τ = {} (paper stays 1.0 up to 2% and > 0.9 at 10%)",
+            m.score
+        );
+        assert!(
+            m.strength > 0.5,
+            "noise {frac}: ρ = {} degraded too much",
+            m.strength
+        );
+    }
+}
+
+/// The record-level map-reduce density job agrees with the columnar
+/// aggregation on real generated data at every resolution.
+#[test]
+fn mapreduce_density_matches_columnar_on_urban_data() {
+    let c = small_collection();
+    let taxi = c.dataset("taxi").unwrap();
+    let cluster = polygamy_mapreduce::Cluster::local(4);
+    for (partition, temporal) in [
+        (&c.geometry().city, TemporalResolution::Day),
+        (
+            c.geometry().neighborhood.as_ref().unwrap(),
+            TemporalResolution::Week,
+        ),
+    ] {
+        let (field, _) = density_job(cluster, taxi, partition, temporal).unwrap();
+        let reference =
+            aggregate(taxi, partition, temporal, FunctionKind::Density, None).unwrap();
+        assert_eq!(field, reference);
+    }
+}
+
+/// Index space overhead (paper Section 5.4): scalar functions + features
+/// must be far smaller than the raw data.
+#[test]
+fn space_overhead_is_modest() {
+    let c = small_collection();
+    let mut dp = DataPolygamy::new(
+        c.geometry().clone(),
+        polygamy_core::framework::Config::default(),
+    );
+    dp.add_dataset(c.dataset("taxi").unwrap().clone());
+    dp.build_index();
+    let stats = dp.index().unwrap().stats();
+    assert!(stats.raw_bytes > 0);
+    // Feature bit vectors cost ~4 bits/vertex vs 64 bits/vertex for the
+    // scalar fields — an order of magnitude less. (Raw-data comparisons
+    // only make sense at realistic record volumes: the paper's 108 GB of
+    // taxi data vs 8 MB of features; at synthetic test scales the domain
+    // size dominates the record count, so we assert the scale-invariant
+    // ratio instead. The space-overhead experiment harness reports the
+    // raw-vs-index comparison at full scale.)
+    assert!(
+        stats.feature_bytes * 8 <= stats.field_bytes,
+        "features {} should be far smaller than fields {}",
+        stats.feature_bytes,
+        stats.field_bytes
+    );
+    assert!(stats.n_functions > 0);
+    assert!(stats.tree_nodes > 0);
+}
+
+/// The index catalog survives a JSON round-trip with features intact.
+#[test]
+fn index_json_roundtrip_preserves_features() {
+    let c = small_collection();
+    let mut dp = DataPolygamy::new(
+        c.geometry().clone(),
+        polygamy_core::framework::Config::default(),
+    );
+    dp.add_dataset(c.dataset("gas-prices").unwrap().clone());
+    dp.build_index();
+    let index = dp.index().unwrap();
+    let json = index.to_json().unwrap();
+    let back = polygamy_core::PolygamyIndex::from_json(&json).unwrap();
+    assert_eq!(index.functions.len(), back.functions.len());
+    for (a, b) in index.functions.iter().zip(&back.functions) {
+        assert_eq!(a.features.salient.pos, b.features.salient.pos);
+        assert_eq!(a.features.extreme.neg, b.features.extreme.neg);
+    }
+}
+
+/// Indexing report covers every data set with nonzero function counts.
+#[test]
+fn build_report_accounts_for_all_datasets() {
+    let c = small_collection();
+    let mut dp = DataPolygamy::new(
+        c.geometry().clone(),
+        polygamy_core::framework::Config::default(),
+    );
+    for d in &c.datasets {
+        dp.add_dataset(d.clone());
+    }
+    let report = dp.build_index();
+    assert_eq!(report.per_dataset.len(), 9);
+    for stat in &report.per_dataset {
+        assert!(stat.n_functions > 0, "{} indexed nothing", stat.name);
+    }
+    let total: usize = report.per_dataset.iter().map(|s| s.n_functions).sum();
+    assert_eq!(total, dp.index().unwrap().functions.len());
+}

@@ -1,0 +1,179 @@
+//! Property-based tests over the core invariants, spanning crates.
+//!
+//! These pin down the algebraic properties the framework's correctness
+//! rests on: level sets from the merge-tree index match brute force on
+//! arbitrary functions, persistence pairing is conservative, relationship
+//! measures live in their documented ranges and are symmetric, restricted
+//! permutations are bijections, and temporal bucketing round-trips.
+
+use polygamy_stats::permutation::{graph_toroidal_shift, is_permutation, temporal_rotation};
+use polygamy_stdata::{CivilDate, TemporalResolution};
+use polygamy_topology::{
+    sub_level_set, super_level_set, BitVec, DomainGraph, FeatureSet, MergeTree,
+};
+use proptest::prelude::*;
+
+fn arb_function(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (-100.0..100.0f64),
+            1 => Just(f64::NAN),
+        ],
+        2..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Super-level sets extracted through the merge tree equal the
+    /// pointwise definition for arbitrary (partially defined) functions.
+    #[test]
+    fn super_level_set_matches_definition(f in arb_function(120), theta in -120.0..120.0f64) {
+        let g = DomainGraph::time_series(f.len());
+        let tree = MergeTree::join(&g, &f);
+        let got = super_level_set(&g, &f, &tree, theta);
+        for v in 0..f.len() {
+            prop_assert_eq!(got.get(v), !f[v].is_nan() && f[v] >= theta);
+        }
+    }
+
+    /// Same for sub-level sets on a 2-D grid domain.
+    #[test]
+    fn sub_level_set_matches_definition_grid(
+        values in prop::collection::vec(-50.0..50.0f64, 24),
+        theta in -60.0..60.0f64,
+    ) {
+        let g = DomainGraph::grid(4, 3, 2);
+        let tree = MergeTree::split(&g, &values);
+        let got = sub_level_set(&g, &values, &tree, theta);
+        for v in 0..values.len() {
+            prop_assert_eq!(got.get(v), values[v] <= theta);
+        }
+    }
+
+    /// Persistence pairing: one pair per leaf; persistence non-negative and
+    /// bounded by the function range; births are extrema values.
+    #[test]
+    fn persistence_pairs_well_formed(f in arb_function(100)) {
+        let g = DomainGraph::time_series(f.len());
+        let defined: Vec<f64> = f.iter().copied().filter(|x| !x.is_nan()).collect();
+        let tree = MergeTree::join(&g, &f);
+        prop_assert_eq!(tree.pairs.len(), tree.leaves.len());
+        if defined.is_empty() {
+            prop_assert!(tree.pairs.is_empty());
+        } else {
+            let range = defined.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - defined.iter().cloned().fold(f64::INFINITY, f64::min);
+            for p in &tree.pairs {
+                prop_assert!(p.persistence() >= 0.0);
+                prop_assert!(p.persistence() <= range + 1e-9);
+                prop_assert_eq!(p.birth, f[p.extremum as usize]);
+            }
+        }
+    }
+
+    /// Relationship measures: τ ∈ [−1, 1], ρ ∈ [0, 1], and swapping the
+    /// sides preserves the score (τ is symmetric; ρ swaps precision and
+    /// recall, leaving F1 unchanged).
+    #[test]
+    fn relationship_measures_ranges_and_symmetry(
+        pos1 in prop::collection::btree_set(0usize..200, 0..40),
+        neg1 in prop::collection::btree_set(0usize..200, 0..40),
+        pos2 in prop::collection::btree_set(0usize..200, 0..40),
+        neg2 in prop::collection::btree_set(0usize..200, 0..40),
+    ) {
+        let build = |pos: &std::collections::BTreeSet<usize>,
+                     neg: &std::collections::BTreeSet<usize>| {
+            let mut p = BitVec::zeros(200);
+            let mut n = BitVec::zeros(200);
+            // Keep pos/neg disjoint, as the threshold construction does.
+            for &i in pos { p.set(i); }
+            for &i in neg {
+                if !p.get(i) { n.set(i); }
+            }
+            FeatureSet { pos: p, neg: n }
+        };
+        let a = build(&pos1, &neg1);
+        let b = build(&pos2, &neg2);
+        let ab = polygamy_core::evaluate_features(&a, &b);
+        let ba = polygamy_core::evaluate_features(&b, &a);
+        prop_assert!((-1.0..=1.0).contains(&ab.score));
+        prop_assert!((0.0..=1.0).contains(&ab.strength));
+        prop_assert!((ab.score - ba.score).abs() < 1e-12);
+        prop_assert!((ab.strength - ba.strength).abs() < 1e-12);
+        prop_assert_eq!(ab.n_pos, ba.n_pos);
+        prop_assert_eq!(ab.n_neg, ba.n_neg);
+    }
+
+    /// Restricted permutations are bijections on any grid.
+    #[test]
+    fn toroidal_shifts_are_bijections(
+        nx in 1usize..6,
+        ny in 1usize..6,
+        seed in 0u64..1000,
+        shift in 0usize..50,
+    ) {
+        let mut adj = vec![Vec::new(); nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = y * nx + x;
+                if x + 1 < nx { adj[i].push((i + 1) as u32); adj[i + 1].push(i as u32); }
+                if y + 1 < ny { adj[i].push((i + nx) as u32); adj[i + nx].push(i as u32); }
+            }
+        }
+        for a in &mut adj { a.sort_unstable(); }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let spatial = graph_toroidal_shift(&adj, &mut rng);
+        prop_assert!(is_permutation(&spatial));
+        let temporal = temporal_rotation(nx * ny, 20, shift);
+        prop_assert!(is_permutation(&temporal));
+    }
+
+    /// Temporal bucketing: bucket_start(bucket_of(ts)) <= ts and buckets
+    /// are monotone in ts, for every resolution including calendar months.
+    #[test]
+    fn temporal_buckets_consistent(
+        days in -3000i64..3000,
+        secs in 0i64..86_400,
+    ) {
+        let ts = days * 86_400 + secs;
+        for res in TemporalResolution::ALL {
+            let b = res.bucket_of(ts);
+            prop_assert!(res.bucket_start(b) <= ts);
+            prop_assert!(res.bucket_of(res.bucket_start(b)) == b);
+            prop_assert!(res.bucket_of(ts + 1) >= b);
+        }
+    }
+
+    /// Civil calendar round-trip on arbitrary day numbers.
+    #[test]
+    fn civil_date_roundtrip(z in -1_000_000i64..1_000_000) {
+        let d = CivilDate::from_days(z);
+        prop_assert_eq!(d.days_from_civil(), z);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!((1..=31).contains(&d.day));
+    }
+
+    /// BitVec slice + permute identities.
+    #[test]
+    fn bitvec_slice_counts(
+        bits in prop::collection::btree_set(0usize..300, 0..60),
+        start in 0usize..150,
+        len in 0usize..150,
+    ) {
+        let mut bv = BitVec::zeros(300);
+        for &b in &bits { bv.set(b); }
+        let end = (start + len).min(300);
+        let s = bv.slice(start, end);
+        let expected = bits.iter().filter(|&&b| b >= start && b < end).count();
+        prop_assert_eq!(s.count_ones(), expected);
+        for (i, &b) in bits.iter().enumerate() {
+            let _ = i;
+            if b >= start && b < end {
+                prop_assert!(s.get(b - start));
+            }
+        }
+    }
+}
