@@ -35,9 +35,11 @@ fn bench_index_vs_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_level_set");
     for &(label, q) in &[("sparse_0.1%", 0.999), ("dense_50%", 0.5)] {
         let theta = quantile(&f, q);
-        group.bench_with_input(BenchmarkId::new("merge_tree_index", label), &theta, |b, &t| {
-            b.iter(|| super_level_set(&g, &f, &tree, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("merge_tree_index", label),
+            &theta,
+            |b, &t| b.iter(|| super_level_set(&g, &f, &tree, t)),
+        );
         group.bench_with_input(BenchmarkId::new("naive_scan", label), &theta, |b, &t| {
             b.iter(|| {
                 let mut out = BitVec::zeros(n);

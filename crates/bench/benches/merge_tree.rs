@@ -28,9 +28,11 @@ fn bench_merge_tree(c: &mut Criterion) {
         let g2 = DomainGraph::grid(5, 5, steps / 25);
         let f2 = taxi_like(g2.vertex_count());
         group.throughput(Throughput::Elements(g2.edge_count() as u64));
-        group.bench_with_input(BenchmarkId::new("neighborhood_3d", steps), &steps, |b, _| {
-            b.iter(|| MergeTree::join(&g2, &f2))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("neighborhood_3d", steps),
+            &steps,
+            |b, _| b.iter(|| MergeTree::join(&g2, &f2)),
+        );
     }
     group.finish();
 }

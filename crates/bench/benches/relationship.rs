@@ -38,7 +38,16 @@ fn bench_relationship(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("temporal", perms), &perms, |bch, _| {
             bch.iter(|| {
-                significance_test(&a, &b, &[vec![]], n, observed, &mc, PermutationScheme::Paper, 7)
+                significance_test(
+                    &a,
+                    &b,
+                    &[vec![]],
+                    n,
+                    observed,
+                    &mc,
+                    PermutationScheme::Paper,
+                    7,
+                )
             })
         });
     }

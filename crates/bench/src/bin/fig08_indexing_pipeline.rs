@@ -3,5 +3,8 @@
 
 fn main() {
     let quick = polygamy_bench::quick_mode();
-    print!("{}", polygamy_bench::experiments::indexing_pipeline::run(quick));
+    print!(
+        "{}",
+        polygamy_bench::experiments::indexing_pipeline::run(quick)
+    );
 }

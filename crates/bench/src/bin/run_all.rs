@@ -5,16 +5,21 @@
 use polygamy_bench::experiments;
 use std::io::Write;
 
+type Harness = fn(bool) -> String;
+
 fn main() {
     let quick = polygamy_bench::quick_mode();
-    let runs: Vec<(&str, fn(bool) -> String)> = vec![
+    let runs: Vec<(&str, Harness)> = vec![
         ("fig01_motivation", experiments::motivation::run),
         ("table01_collection", experiments::collection::run),
         ("fig03_resolutions", experiments::resolutions::run),
         ("fig04_join_tree", experiments::join_tree::run),
         ("fig05_persistence", experiments::persistence::run),
         ("fig07_index_scaling", experiments::index_scaling::run),
-        ("fig08_indexing_pipeline", experiments::indexing_pipeline::run),
+        (
+            "fig08_indexing_pipeline",
+            experiments::indexing_pipeline::run,
+        ),
         ("fig09_query_rate", experiments::query_rate::run),
         ("fig10_speedup", experiments::speedup::run),
         ("fig11_pruning", experiments::pruning::run),

@@ -47,48 +47,73 @@ pub fn run(quick: bool) -> String {
     let pairs: Vec<(&str, Vec<f64>, Vec<f64>, &str)> = vec![
         (
             "snow-fall ~ bike duration",
-            series(weather, city, attr_kind(weather, "snow-fall"), hourly, window),
+            series(
+                weather,
+                city,
+                attr_kind(weather, "snow-fall"),
+                hourly,
+                window,
+            ),
             series(bike, city, attr_kind(bike, "duration-min"), hourly, window),
             "found by PCC and MI",
         ),
         (
             "taxi trips ~ traffic speed",
             series(taxi, city, FunctionKind::Density, hourly, window),
-            series(traffic, city, attr_kind(traffic, "speed-kmh"), hourly, window),
+            series(
+                traffic,
+                city,
+                attr_kind(traffic, "speed-kmh"),
+                hourly,
+                window,
+            ),
             "found by PCC and DTW",
         ),
         (
             "rain ~ #taxis (event-conditioned)",
-            series(weather, city, attr_kind(weather, "precipitation"), hourly, window),
+            series(
+                weather,
+                city,
+                attr_kind(weather, "precipitation"),
+                hourly,
+                window,
+            ),
             series(taxi, city, FunctionKind::Unique, hourly, window),
             "missed by all baselines",
         ),
         (
             "wind ~ taxi trips (event-conditioned)",
-            series(weather, city, attr_kind(weather, "wind-speed"), hourly, window),
+            series(
+                weather,
+                city,
+                attr_kind(weather, "wind-speed"),
+                hourly,
+                window,
+            ),
             series(taxi, city, FunctionKind::Density, hourly, window),
             "missed by all baselines",
         ),
     ];
 
-    let mut t = Table::new(&["pair", "PCC", "MI", "DTW", "polygamy τ (salient/extreme)", "paper verdict"]);
+    let mut t = Table::new(&[
+        "pair",
+        "PCC",
+        "MI",
+        "DTW",
+        "polygamy τ (salient/extreme)",
+        "paper verdict",
+    ]);
     let adjacency = vec![vec![]];
     for (label, a, b, verdict) in &pairs {
         let scores = BaselineScores::of(a, b);
         // Data Polygamy's view of the same pair.
         let fa = polygamy_stdata::ScalarField::time_series(
-            polygamy_stdata::Resolution::new(
-                polygamy_stdata::SpatialResolution::City,
-                hourly,
-            ),
+            polygamy_stdata::Resolution::new(polygamy_stdata::SpatialResolution::City, hourly),
             hourly.bucket_of(window.0),
             a.clone(),
         );
         let fb = polygamy_stdata::ScalarField::time_series(
-            polygamy_stdata::Resolution::new(
-                polygamy_stdata::SpatialResolution::City,
-                hourly,
-            ),
+            polygamy_stdata::Resolution::new(polygamy_stdata::SpatialResolution::City, hourly),
             hourly.bucket_of(window.0),
             b.clone(),
         );

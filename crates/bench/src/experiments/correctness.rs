@@ -9,9 +9,7 @@ use polygamy_stdata::CivilDate;
 /// Runs the year-over-year control at (hour, city) and (hour, neighborhood).
 pub fn run(quick: bool) -> String {
     let mut out = String::from("# Section 6.2 — correctness (taxi 2011 vs 2012)\n\n");
-    out.push_str(
-        "Paper: (hour, city) τ=0.99 ρ=0.85; (hour, neighborhood) τ=1.0 ρ=0.87.\n\n",
-    );
+    out.push_str("Paper: (hour, city) τ=0.99 ρ=0.85; (hour, neighborhood) τ=1.0 ρ=0.87.\n\n");
     let c = super::urban(quick);
     let taxi = c.dataset("taxi").expect("taxi generated");
     let years = taxi.split_by_year();
@@ -46,9 +44,13 @@ pub fn run(quick: bool) -> String {
     dp.add_dataset(d2s);
     dp.build_index();
     let rels = dp
-        .query(&RelationshipQuery::all().with_clause(
-            Clause::default().permutations(super::permutations(quick)).include_insignificant(),
-        ))
+        .query(
+            &RelationshipQuery::all().with_clause(
+                Clause::default()
+                    .permutations(super::permutations(quick))
+                    .include_insignificant(),
+            ),
+        )
         .expect("query succeeds");
 
     let mut t = Table::new(&["resolution", "paper τ/ρ", "our τ", "our ρ", "significant"]);
@@ -79,7 +81,13 @@ pub fn run(quick: bool) -> String {
                 ]);
             }
             None => {
-                t.row(&[res.label(), paper.into(), "-".into(), "-".into(), "-".into()]);
+                t.row(&[
+                    res.label(),
+                    paper.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }

@@ -51,7 +51,11 @@ pub fn run(quick: bool) -> String {
     });
     out.push_str("\n## (b) open corpus\n");
     let mut t2 = Table::new(&["#data sets", "scalar (s)", "features (s)", "#functions"]);
-    let sizes: Vec<usize> = if quick { vec![4, 8, 12] } else { vec![10, 20, 30, 40] };
+    let sizes: Vec<usize> = if quick {
+        vec![4, 8, 12]
+    } else {
+        vec![10, 20, 30, 40]
+    };
     for &n in &sizes {
         let mut dp = DataPolygamy::new(
             CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),

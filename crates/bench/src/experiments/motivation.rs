@@ -42,7 +42,12 @@ pub fn run(quick: bool) -> String {
         "Paper: two large drops in daily taxi trips (Aug 2011, Oct 2012) on\n\
          days with unusually high wind speeds (hurricanes Irene and Sandy).\n\n",
     );
-    let mut table = Table::new(&["event", "peak wind (km/h)", "typical wind", "trip drop vs mean"]);
+    let mut table = Table::new(&[
+        "event",
+        "peak wind (km/h)",
+        "typical wind",
+        "trip drop vs mean",
+    ]);
     let typical_wind = polygamy_stats::quantile(&wind, 0.5);
     let mut all_aligned = true;
     for ev in c.events.of_kind(EventKind::Hurricane) {
@@ -50,7 +55,10 @@ pub fn run(quick: bool) -> String {
         let d0 = (ev.start - daily_trips.step_start(0)) / SECS_PER_DAY;
         let d1 = (ev.end - daily_trips.step_start(0)) / SECS_PER_DAY + 1;
         let range = d0.max(0) as usize..(d1 as usize).min(trips.len());
-        let min_trips = range.clone().map(|i| trips[i]).fold(f64::INFINITY, f64::min);
+        let min_trips = range
+            .clone()
+            .map(|i| trips[i])
+            .fold(f64::INFINITY, f64::min);
         let max_wind = range.clone().map(|i| wind[i]).fold(0.0, f64::max);
         let drop = 1.0 - min_trips / mean_trips;
         if drop < 0.3 || max_wind < typical_wind * 2.0 {
@@ -86,7 +94,11 @@ pub fn run(quick: bool) -> String {
     }
     out.push_str(&format!(
         "\nShape check (drops >30% on >2x-wind days): {}\n",
-        if all_aligned { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if all_aligned {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     ));
     out
 }

@@ -42,14 +42,24 @@ pub fn run(quick: bool) -> String {
     // (a) urban
     let (_c, dp) = super::indexed(quick);
     let (cand, sig, t06, t08) = count_rels(&dp, resolution, perms);
-    let mut t = Table::new(&["corpus", "candidates", "significant", "τ>=0.6", "τ>=0.8", "pruned"]);
+    let mut t = Table::new(&[
+        "corpus",
+        "candidates",
+        "significant",
+        "τ>=0.6",
+        "τ>=0.8",
+        "pruned",
+    ]);
     t.row(&[
         "urban".into(),
         cand.to_string(),
         sig.to_string(),
         t06.to_string(),
         t08.to_string(),
-        format!("{}%", fnum(100.0 * (1.0 - sig as f64 / cand.max(1) as f64), 1)),
+        format!(
+            "{}%",
+            fnum(100.0 * (1.0 - sig as f64 / cand.max(1) as f64), 1)
+        ),
     ]);
 
     // (b) open corpus with ground truth.

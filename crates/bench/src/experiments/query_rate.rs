@@ -20,7 +20,11 @@ pub fn run(quick: bool) -> String {
         "time (s)",
         "rel/min",
     ]);
-    let sizes: Vec<usize> = if quick { vec![3, 5, 7, 9] } else { vec![2, 4, 6, 8, 9] };
+    let sizes: Vec<usize> = if quick {
+        vec![3, 5, 7, 9]
+    } else {
+        vec![2, 4, 6, 8, 9]
+    };
     let mut rates = Vec::new();
     for &n in &sizes {
         let mut dp = DataPolygamy::new(
@@ -48,7 +52,11 @@ pub fn run(quick: bool) -> String {
     }
     out.push_str(&t.render());
     let spread = rates.iter().cloned().fold(0.0, f64::max)
-        / rates.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        / rates
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     out.push_str(&format!(
         "\nRate spread (max/min): {:.1}x — the paper's curve flattens once\n\
          enough pairs amortise fixed costs.\n",

@@ -93,10 +93,7 @@ const FINDINGS: &[Finding] = &[
     },
 ];
 
-fn best_match<'a>(
-    rels: &'a [Relationship],
-    f: &Finding,
-) -> Option<&'a Relationship> {
+fn best_match<'a>(rels: &'a [Relationship], f: &Finding) -> Option<&'a Relationship> {
     rels.iter()
         .filter(|r| {
             let l = r.left.to_string();
@@ -121,12 +118,7 @@ pub fn run(quick: bool) -> String {
         .permutations(super::permutations(quick))
         .include_insignificant();
 
-    let mut t = Table::new(&[
-        "relationship",
-        "paper",
-        "our best (sign-matching)",
-        "found",
-    ]);
+    let mut t = Table::new(&["relationship", "paper", "our best (sign-matching)", "found"]);
     let mut found_count = 0;
     for f in FINDINGS {
         let (d1, d2) = (

@@ -17,8 +17,14 @@ pub fn run(quick: bool) -> String {
 
     let mut out = String::from("# Figure 3 — density at different spatial resolutions\n\n");
     for (partition, label) in [(nbhd, "neighborhood"), (zip, "zip")] {
-        let field = aggregate(taxi, partition, TemporalResolution::Day, FunctionKind::Density, None)
-            .expect("aggregates");
+        let field = aggregate(
+            taxi,
+            partition,
+            TemporalResolution::Day,
+            FunctionKind::Density,
+            None,
+        )
+        .expect("aggregates");
         // A busy mid-range slice.
         let z = field.n_steps / 2;
         let slice = field.slice(z);
@@ -58,7 +64,9 @@ pub fn run(quick: bool) -> String {
     );
     out.push_str(&format!(
         "zip x neighborhood meet only at city scale: {} (common: {})\n",
-        zip_nbhd.iter().all(|r| r.spatial == SpatialResolution::City),
+        zip_nbhd
+            .iter()
+            .all(|r| r.spatial == SpatialResolution::City),
         zip_nbhd.len()
     ));
     let week_month = ResolutionDag::common(

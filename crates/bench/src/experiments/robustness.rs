@@ -39,12 +39,18 @@ pub fn run(quick: bool) -> String {
     let noise_levels = [0.0, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10];
     for (name, kind) in functions {
         out.push_str(&format!("## taxi.{name} (hour, city)\n"));
-        let field = aggregate(taxi, &c.geometry().city, TemporalResolution::Hour, kind, None)
-            .expect("aggregates");
+        let field = aggregate(
+            taxi,
+            &c.geometry().city,
+            TemporalResolution::Hour,
+            kind,
+            None,
+        )
+        .expect("aggregates");
         let (clean, _, _) = field_features(&adjacency, &field);
         let mut t = Table::new(&["noise %", "score τ", "strength ρ"]);
         for &frac in &noise_levels {
-            let noisy_field = add_iqr_noise(&field, frac, 0xF16_12 ^ (frac * 1000.0) as u64);
+            let noisy_field = add_iqr_noise(&field, frac, 0xF1612 ^ (frac * 1000.0) as u64);
             let (noisy, _, _) = field_features(&adjacency, &noisy_field);
             let m = evaluate_features(&clean.salient, &noisy.salient);
             t.row(&[

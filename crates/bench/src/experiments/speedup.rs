@@ -60,7 +60,11 @@ pub fn run(quick: bool) -> String {
         }
         dp.build_index();
         let query = RelationshipQuery::between(&["taxi", "weather", "collisions"], &[])
-            .with_clause(Clause::default().permutations(perms).include_insignificant());
+            .with_clause(
+                Clause::default()
+                    .permutations(perms)
+                    .include_insignificant(),
+            );
         let (_rels, query_secs) = timed(|| dp.query(&query).expect("query succeeds"));
 
         let (s0, f0, q0) = *base.get_or_insert((scalar_secs, feature_secs, query_secs));

@@ -124,13 +124,16 @@ pub struct IndexBuildReport {
     pub total_secs: f64,
 }
 
+/// Query-result cache keyed by (dataset pair, clause fingerprint).
+type QueryCache = Mutex<HashMap<(usize, usize, u64), Arc<Vec<Relationship>>>>;
+
 /// The framework facade.
 pub struct DataPolygamy {
     geometry: CityGeometry,
     config: Config,
     datasets: Vec<Dataset>,
     index: Option<PolygamyIndex>,
-    cache: Mutex<HashMap<(usize, usize, u64), Arc<Vec<Relationship>>>>,
+    cache: QueryCache,
 }
 
 impl DataPolygamy {
@@ -283,7 +286,7 @@ impl DataPolygamy {
                 .then_with(|| x.left.to_string().cmp(&y.left.to_string()))
                 .then_with(|| x.right.to_string().cmp(&y.right.to_string()))
                 .then_with(|| x.resolution.label().cmp(&y.resolution.label()))
-                .then_with(|| x.class.label().cmp(&y.class.label()))
+                .then_with(|| x.class.label().cmp(y.class.label()))
         });
         Ok(out)
     }
@@ -298,8 +301,9 @@ impl DataPolygamy {
 mod tests {
     use super::*;
     use crate::query::Clause;
-    use polygamy_stdata::{AttributeMeta, DatasetBuilder, DatasetMeta, GeoPoint,
-        TemporalResolution};
+    use polygamy_stdata::{
+        AttributeMeta, DatasetBuilder, DatasetMeta, GeoPoint, TemporalResolution,
+    };
 
     fn tiny_dataset(name: &str, bump_at: i64) -> Dataset {
         let meta = DatasetMeta {
@@ -310,7 +314,11 @@ mod tests {
         };
         let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("x"));
         for h in 0..600i64 {
-            let v = if h == bump_at { 50.0 } else { (h % 24) as f64 * 0.01 };
+            let v = if h == bump_at {
+                50.0
+            } else {
+                (h % 24) as f64 * 0.01
+            };
             b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v]).unwrap();
         }
         b.build().unwrap()
@@ -318,7 +326,10 @@ mod tests {
 
     #[test]
     fn lifecycle_and_errors() {
-        let mut dp = DataPolygamy::new(CityGeometry::city_only(0.0, 0.0, 1.0, 1.0), Config::fast_test());
+        let mut dp = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            Config::fast_test(),
+        );
         assert!(dp.index().is_err());
         dp.add_dataset(tiny_dataset("a", 100));
         dp.add_dataset(tiny_dataset("b", 100));
@@ -338,7 +349,10 @@ mod tests {
 
     #[test]
     fn query_caching() {
-        let mut dp = DataPolygamy::new(CityGeometry::city_only(0.0, 0.0, 1.0, 1.0), Config::fast_test());
+        let mut dp = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            Config::fast_test(),
+        );
         dp.add_dataset(tiny_dataset("a", 100));
         dp.add_dataset(tiny_dataset("b", 100));
         dp.build_index();
@@ -359,7 +373,10 @@ mod tests {
 
     #[test]
     fn symmetric_pairs_share_cache() {
-        let mut dp = DataPolygamy::new(CityGeometry::city_only(0.0, 0.0, 1.0, 1.0), Config::fast_test());
+        let mut dp = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            Config::fast_test(),
+        );
         dp.add_dataset(tiny_dataset("a", 100));
         dp.add_dataset(tiny_dataset("b", 100));
         dp.build_index();

@@ -41,11 +41,19 @@ impl FunctionSpec {
     }
 
     /// An attribute function.
-    pub fn attribute(dataset: &str, attr_index: usize, attr_name: &str, agg: AggregateKind) -> Self {
+    pub fn attribute(
+        dataset: &str,
+        attr_index: usize,
+        attr_name: &str,
+        agg: AggregateKind,
+    ) -> Self {
         Self {
             dataset: dataset.to_string(),
             name: format!("{}({})", agg.label(), attr_name),
-            kind: FunctionKind::Attribute { attr: attr_index, agg },
+            kind: FunctionKind::Attribute {
+                attr: attr_index,
+                agg,
+            },
         }
     }
 
@@ -98,8 +106,9 @@ impl From<&FunctionSpec> for FunctionRef {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polygamy_stdata::{AttributeMeta, DatasetBuilder, DatasetMeta, SpatialResolution,
-        TemporalResolution};
+    use polygamy_stdata::{
+        AttributeMeta, DatasetBuilder, DatasetMeta, SpatialResolution, TemporalResolution,
+    };
 
     fn dataset(with_keys: bool) -> Dataset {
         let meta = DatasetMeta {

@@ -61,8 +61,8 @@ impl FunctionEntry {
             return None;
         }
         let start = self.start_bucket.max(other.start_bucket);
-        let end =
-            (self.start_bucket + self.n_steps as i64).min(other.start_bucket + other.n_steps as i64);
+        let end = (self.start_bucket + self.n_steps as i64)
+            .min(other.start_bucket + other.n_steps as i64);
         if end <= start {
             None
         } else {
@@ -136,7 +136,11 @@ impl PolygamyIndex {
                 .iter()
                 .filter_map(|f| f.field.as_ref().map(ScalarField::approx_bytes))
                 .sum(),
-            feature_bytes: self.functions.iter().map(FunctionEntry::feature_bytes).sum(),
+            feature_bytes: self
+                .functions
+                .iter()
+                .map(FunctionEntry::feature_bytes)
+                .sum(),
             tree_nodes: self.functions.iter().map(|f| f.tree_nodes).sum(),
         }
     }

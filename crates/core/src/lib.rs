@@ -58,8 +58,8 @@ pub mod prelude {
     pub use crate::query::{Clause, RelationshipQuery};
     pub use crate::relationship::Relationship;
     pub use polygamy_stdata::{
-        AggregateKind, AttributeMeta, Dataset, DatasetBuilder, DatasetMeta, FunctionKind,
-        GeoPoint, Resolution, SpatialPartition, SpatialResolution, TemporalResolution,
+        AggregateKind, AttributeMeta, Dataset, DatasetBuilder, DatasetMeta, FunctionKind, GeoPoint,
+        Resolution, SpatialPartition, SpatialResolution, TemporalResolution,
     };
     pub use polygamy_topology::FeatureClass;
 }

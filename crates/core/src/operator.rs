@@ -109,16 +109,7 @@ fn evaluate_pair(
             continue;
         }
         let seed = pair_seed(config.seed, e1, e2, class);
-        let p = significance_test(
-            &f1,
-            &f2,
-            adjacency,
-            len,
-            measures.score,
-            &mc,
-            scheme,
-            seed,
-        );
+        let p = significance_test(&f1, &f2, adjacency, len, measures.score, &mc, scheme, seed);
         let significant = mc.is_significant(p);
         if clause.significant_only && !significant {
             continue;
@@ -185,8 +176,7 @@ mod tests {
     use crate::framework::{CityGeometry, Config, DataPolygamy};
     use crate::query::Clause;
     use polygamy_stdata::{
-        AttributeMeta, DatasetBuilder, DatasetMeta, GeoPoint, SpatialResolution,
-        TemporalResolution,
+        AttributeMeta, DatasetBuilder, DatasetMeta, GeoPoint, SpatialResolution, TemporalResolution,
     };
 
     /// Two city-resolution hourly data sets with attribute spikes at the
@@ -208,7 +198,11 @@ mod tests {
                 .attribute(AttributeMeta::named("flat"));
             for h in 0..2400i64 {
                 let base = ((h % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
-                let spike = if spikes.contains(&(h as usize)) { 40.0 } else { 0.0 };
+                let spike = if spikes.contains(&(h as usize)) {
+                    40.0
+                } else {
+                    0.0
+                };
                 b.push(
                     GeoPoint::new(5.0, 5.0),
                     h * 3_600,
@@ -226,9 +220,9 @@ mod tests {
     fn finds_planted_relationship() {
         let dp = corpus();
         let rels = dp.relation("alpha", "beta").unwrap();
-        let signal = rels.iter().find(|r| {
-            r.left.function == "avg(signal)" && r.right.function == "avg(signal)"
-        });
+        let signal = rels
+            .iter()
+            .find(|r| r.left.function == "avg(signal)" && r.right.function == "avg(signal)");
         let signal = signal.expect("planted signal~signal relationship missing");
         assert!(signal.score() > 0.8, "τ = {}", signal.score());
         assert!(signal.significant);
@@ -260,10 +254,8 @@ mod tests {
     #[test]
     fn resolution_filter() {
         let dp = corpus();
-        let hourly = polygamy_stdata::Resolution::new(
-            SpatialResolution::City,
-            TemporalResolution::Hour,
-        );
+        let hourly =
+            polygamy_stdata::Resolution::new(SpatialResolution::City, TemporalResolution::Hour);
         let rels = dp
             .query(
                 &crate::query::RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(

@@ -107,10 +107,13 @@ mod tests {
         assert_eq!(entries[0].dataset_index, 3);
         assert_eq!(entries[0].n_steps, 100);
         assert!(entries[0].field.is_some());
-        let entries_nofield =
-            identify_features(Cluster::local(2), &geometry, 3, vec![
-                (FunctionSpec::density("d"), spiky_field(50)),
-            ], false);
+        let entries_nofield = identify_features(
+            Cluster::local(2),
+            &geometry,
+            3,
+            vec![(FunctionSpec::density("d"), spiky_field(50))],
+            false,
+        );
         assert!(entries_nofield[0].field.is_none());
     }
 }

@@ -84,8 +84,8 @@ pub fn density_job(
 
     let times = dataset.times();
     let locations = dataset.locations();
-    let use_native = dataset.meta.spatial_resolution == partition.resolution
-        && dataset.regions().is_some();
+    let use_native =
+        dataset.meta.spatial_resolution == partition.resolution && dataset.regions().is_some();
     let (cells, metrics) = run_job(
         cluster,
         JobConfig::default(),
@@ -151,7 +151,8 @@ mod tests {
         for i in 0..n {
             let x = (i % 20) as f64 / 10.0;
             let t = (i as i64 % 72) * 3_600 + 30;
-            b.push(GeoPoint::new(x, 0.5), t, &[i as f64 % 30.0]).unwrap();
+            b.push(GeoPoint::new(x, 0.5), t, &[i as f64 % 30.0])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -179,7 +180,8 @@ mod tests {
         };
         let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("wind"));
         for i in 0..48 {
-            b.push(GeoPoint::new(1.0, 0.5), i * 3_600, &[i as f64]).unwrap();
+            b.push(GeoPoint::new(1.0, 0.5), i * 3_600, &[i as f64])
+                .unwrap();
         }
         let d = b.build().unwrap();
         let out = compute_scalar_functions(Cluster::local(1), &geometry(), &d);

@@ -132,7 +132,11 @@ impl fmt::Display for Relationship {
             self.measures.score,
             self.measures.strength,
             self.p_value,
-            if self.significant { "" } else { " (not significant)" }
+            if self.significant {
+                ""
+            } else {
+                " (not significant)"
+            }
         )
     }
 }
@@ -224,8 +228,14 @@ mod tests {
     #[test]
     fn display_format() {
         let rel = Relationship {
-            left: FunctionRef { dataset: "taxi".into(), function: "density".into() },
-            right: FunctionRef { dataset: "weather".into(), function: "avg(wind)".into() },
+            left: FunctionRef {
+                dataset: "taxi".into(),
+                function: "density".into(),
+            },
+            right: FunctionRef {
+                dataset: "weather".into(),
+                function: "avg(wind)".into(),
+            },
             resolution: Resolution::new(
                 polygamy_stdata::SpatialResolution::City,
                 polygamy_stdata::TemporalResolution::Hour,

@@ -39,6 +39,10 @@ pub enum PermutationScheme {
 /// `n_regions × n_steps` vertices; `spatial_adjacency` is the region
 /// adjacency of their (shared) spatial resolution. Returns the p-value of
 /// the observed score under `mc.tail`.
+// The argument list mirrors the paper's test definition (two feature sets,
+// the domain, the observed statistic, the MC setup); a params struct would
+// only re-name it.
+#[allow(clippy::too_many_arguments)]
 pub fn significance_test(
     left: &FeatureSet,
     right: &FeatureSet,
@@ -109,7 +113,16 @@ mod tests {
         let b = fs(n, &points, &[]);
         let obs = evaluate_features(&a, &b).score;
         assert_eq!(obs, 1.0);
-        let p = significance_test(&a, &b, &[vec![]], n, obs, &mc(200), PermutationScheme::Paper, 7);
+        let p = significance_test(
+            &a,
+            &b,
+            &[vec![]],
+            n,
+            obs,
+            &mc(200),
+            PermutationScheme::Paper,
+            7,
+        );
         assert!(p <= 0.05, "expected significance, got p = {p}");
     }
 
@@ -122,7 +135,16 @@ mod tests {
         let a = fs(n, &most, &[]);
         let b = fs(n, &most, &[]);
         let obs = evaluate_features(&a, &b).score;
-        let p = significance_test(&a, &b, &[vec![]], n, obs, &mc(200), PermutationScheme::Paper, 3);
+        let p = significance_test(
+            &a,
+            &b,
+            &[vec![]],
+            n,
+            obs,
+            &mc(200),
+            PermutationScheme::Paper,
+            3,
+        );
         assert!(p > 0.05, "dense overlap should not be significant: p = {p}");
     }
 
@@ -166,8 +188,26 @@ mod tests {
         let a = fs(n, &pts, &[]);
         let b = fs(n, &pts, &[]);
         let obs = 1.0;
-        let p1 = significance_test(&a, &b, &[vec![]], n, obs, &mc(100), PermutationScheme::Paper, 42);
-        let p2 = significance_test(&a, &b, &[vec![]], n, obs, &mc(100), PermutationScheme::Paper, 42);
+        let p1 = significance_test(
+            &a,
+            &b,
+            &[vec![]],
+            n,
+            obs,
+            &mc(100),
+            PermutationScheme::Paper,
+            42,
+        );
+        let p2 = significance_test(
+            &a,
+            &b,
+            &[vec![]],
+            n,
+            obs,
+            &mc(100),
+            PermutationScheme::Paper,
+            42,
+        );
         assert_eq!(p1, p2);
     }
 
@@ -175,7 +215,16 @@ mod tests {
     fn zero_permutations_never_significant() {
         let a = fs(10, &[1], &[]);
         let b = fs(10, &[1], &[]);
-        let p = significance_test(&a, &b, &[vec![]], 10, 1.0, &mc(0), PermutationScheme::Paper, 0);
+        let p = significance_test(
+            &a,
+            &b,
+            &[vec![]],
+            10,
+            1.0,
+            &mc(0),
+            PermutationScheme::Paper,
+            0,
+        );
         assert_eq!(p, 1.0);
     }
 }

@@ -53,8 +53,8 @@ fn bike_diurnal(hod: f64) -> f64 {
 /// Day-of-week multiplier (Monday = 0).
 fn weekday_factor(weekday: u8) -> f64 {
     match weekday {
-        5 => 0.9,  // Saturday
-        6 => 0.8,  // Sunday
+        5 => 0.9, // Saturday
+        6 => 0.8, // Sunday
         _ => 1.0,
     }
 }
@@ -117,7 +117,10 @@ impl GasTrace {
             price = (price + 0.03 * gaussian(&mut rng) + 0.004).clamp(2.2, 5.2);
             weekly.push(price + seasonal);
         }
-        Self { start: aligned, weekly }
+        Self {
+            start: aligned,
+            weekly,
+        }
     }
 
     /// Price at a timestamp (clamped).
@@ -195,9 +198,11 @@ pub fn taxi_dataset(
             let miles = (gaussian(&mut rng).abs() * 2.2 + 0.8).min(25.0);
             // The metered per-mile rate tracks gas prices (paper Appendix E.2:
             // fare ~ gas price at monthly resolution).
-            let fare = (2.0 + 0.6 * gas_price + 2.4 * miles * (0.55 + 0.35 * gas_price / 3.4)) * surge;
+            let fare =
+                (2.0 + 0.6 * gas_price + 2.4 * miles * (0.55 + 0.35 * gas_price / 3.4)) * surge;
             let tip = fare * (0.12 + 0.05 * rng.gen::<f64>());
-            let congestion = 1.0 + 0.8 * taxi_diurnal((ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64)
+            let congestion = 1.0
+                + 0.8 * taxi_diurnal((ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64)
                 + 0.4 * fog;
             let duration = miles / 16.0 * 60.0 * congestion;
             let medallion = rng.gen_range(0..active);
@@ -258,8 +263,8 @@ pub fn bike_dataset(
             let start_point = city.sample_point(&mut rng, nbhd);
             // Snowy conditions stretch trips (paper: longer trips when it
             // snows).
-            let duration = (14.0 + 5.0 * gaussian(&mut rng).abs())
-                * (1.0 + 0.8 * snowfall + 0.35 * depth);
+            let duration =
+                (14.0 + 5.0 * gaussian(&mut rng).abs()) * (1.0 + 0.8 * snowfall + 0.35 * depth);
             let distance = duration / 60.0 * 12.0 * (1.0 - 0.3 * snowfall);
             let station = nbhd as u64 * stations_per_nbhd + rng.gen_range(0..active_per_nbhd);
             let t = ts + rng.gen_range(0..SECS_PER_HOUR);
@@ -300,7 +305,10 @@ pub fn collisions_dataset(
         // Frequency follows traffic volume, NOT rain — the paper's finding.
         // Hurricanes empty the streets, so frequency does drop with them.
         let hurricane = events.intensity(EventKind::Hurricane, ts);
-        let lambda_city = 6.0 * scale * taxi_diurnal(hod) * weekday_factor(date_of(ts).weekday())
+        let lambda_city = 6.0
+            * scale
+            * taxi_diurnal(hod)
+            * weekday_factor(date_of(ts).weekday())
             * (1.0 - 0.85 * hurricane);
         let n = poisson(&mut rng, lambda_city);
         for _ in 0..n {
@@ -324,6 +332,9 @@ pub fn collisions_dataset(
 }
 
 /// Shared generator for the 311/911 call data sets.
+// Internal helper shared by exactly two call sites; every argument is a
+// distinct knob of the planted coupling, so a struct would just rename them.
+#[allow(clippy::too_many_arguments)]
 fn calls_dataset(
     name: &str,
     description: &str,
@@ -353,7 +364,10 @@ fn calls_dataset(
         let hurricane = events.intensity(EventKind::Hurricane, ts);
         for nbhd in 0..city.n_neighborhoods() {
             let burst = incident_burst(burst_seed, nbhd, day);
-            let lambda = base_rate * scale * daytime * burst
+            let lambda = base_rate
+                * scale
+                * daytime
+                * burst
                 * (city.popularity[nbhd] / pop_total)
                 * (1.0 + hurricane_boost * hurricane);
             let n = poisson(&mut rng, lambda);
@@ -458,7 +472,8 @@ pub fn traffic_dataset(
             let congestion = 1.0 + 2.2 * volume_norm * (city.popularity[nbhd] / 1.5);
             let speed = (48.0 / congestion) * (1.0 - 0.25 * fog) * (1.0 - 0.2 * snow)
                 + 1.5 * gaussian(&mut rng);
-            b.push(p, ts + 1_800, &[speed.max(3.0)]).expect("schema matches");
+            b.push(p, ts + 1_800, &[speed.max(3.0)])
+                .expect("schema matches");
         }
     }
     b.build().expect("traffic dataset builds")
@@ -466,12 +481,7 @@ pub fn traffic_dataset(
 
 /// Tweets (GPS/second native): diurnal + population structure, but
 /// independent of weather and events — the spurious-relationship bait.
-pub fn twitter_dataset(
-    city: &CityModel,
-    trace: &WeatherTrace,
-    scale: f64,
-    seed: u64,
-) -> Dataset {
+pub fn twitter_dataset(city: &CityModel, trace: &WeatherTrace, scale: f64, seed: u64) -> Dataset {
     let meta = DatasetMeta {
         name: "twitter".into(),
         spatial_resolution: SpatialResolution::Gps,
@@ -519,7 +529,10 @@ mod tests {
         let city = CityModel::generate(CityConfig::default());
         let events = UrbanEvents::default_calendar(2011, 1);
         let trace = WeatherTrace::generate(
-            WeatherConfig { n_years: 1, ..WeatherConfig::default() },
+            WeatherConfig {
+                n_years: 1,
+                ..WeatherConfig::default()
+            },
             &events,
         );
         let gas = GasTrace::generate(trace.start, 53, 5);
@@ -558,13 +571,12 @@ mod tests {
         let storm = events.of_kind(EventKind::Snowstorm).next().unwrap();
         let durations = d.column(0);
         let (mut storm_sum, mut storm_n, mut calm_sum, mut calm_n) = (0.0, 0usize, 0.0, 0usize);
-        for i in 0..d.len() {
-            let t = d.times()[i];
+        for (&t, &dur) in d.times().iter().zip(durations.iter()) {
             if storm.contains(t) {
-                storm_sum += durations[i];
+                storm_sum += dur;
                 storm_n += 1;
             } else {
-                calm_sum += durations[i];
+                calm_sum += dur;
                 calm_n += 1;
             }
         }
@@ -583,20 +595,23 @@ mod tests {
         let d = collisions_dataset(&city, &trace, &events, 1.0, 3);
         let injured = d.column(0);
         let (mut wet_inj, mut wet_n, mut dry_inj, mut dry_n) = (0.0, 0usize, 0.0, 0usize);
-        for i in 0..d.len() {
-            let w = trace.at(d.times()[i]);
+        for (&t, &inj) in d.times().iter().zip(injured.iter()) {
+            let w = trace.at(t);
             if w.precipitation > 4.0 {
-                wet_inj += injured[i];
+                wet_inj += inj;
                 wet_n += 1;
             } else if w.precipitation < 0.1 {
-                dry_inj += injured[i];
+                dry_inj += inj;
                 dry_n += 1;
             }
         }
         assert!(wet_n > 20 && dry_n > 200);
         let wet_avg = wet_inj / wet_n as f64;
         let dry_avg = dry_inj / dry_n as f64;
-        assert!(wet_avg > 2.0 * dry_avg, "wet {wet_avg:.2} vs dry {dry_avg:.2}");
+        assert!(
+            wet_avg > 2.0 * dry_avg,
+            "wet {wet_avg:.2} vs dry {dry_avg:.2}"
+        );
         // Frequency per hour roughly independent: wet rate within 50% of
         // the overall mean (diurnal mixing makes exact equality unneeded).
         let hours_wet = trace.hours.iter().filter(|w| w.precipitation > 4.0).count();
@@ -656,13 +671,13 @@ mod tests {
         assert!(!d.is_empty());
         let speeds = d.column(0);
         let (mut rush, mut rush_n, mut night, mut night_n) = (0.0, 0usize, 0.0, 0usize);
-        for i in 0..d.len() {
-            let hod = d.times()[i].rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR;
+        for (&t, &speed) in d.times().iter().zip(speeds.iter()) {
+            let hod = t.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR;
             if hod == 19 {
-                rush += speeds[i];
+                rush += speed;
                 rush_n += 1;
             } else if hod == 4 {
-                night += speeds[i];
+                night += speed;
                 night_n += 1;
             }
         }
@@ -692,12 +707,12 @@ mod tests {
         let (city, trace, events, _) = small_world();
         let d = twitter_dataset(&city, &trace, 0.1, 8);
         assert!(d.len() > 5_000);
-        let irene = events.events.iter().find(|e| e.name.contains("Irene")).unwrap();
-        let storm_tweets = d
-            .times()
+        let irene = events
+            .events
             .iter()
-            .filter(|&&t| irene.contains(t))
-            .count() as f64;
+            .find(|e| e.name.contains("Irene"))
+            .unwrap();
+        let storm_tweets = d.times().iter().filter(|&&t| irene.contains(t)).count() as f64;
         let storm_hours = ((irene.end - irene.start) / SECS_PER_HOUR) as f64;
         let rate_storm = storm_tweets / storm_hours;
         let rate_all = d.len() as f64 / trace.len() as f64;

@@ -129,9 +129,7 @@ impl CityModel {
         let mut zip_cells: Vec<(usize, usize)> = Vec::new();
         for zy in 0..zny {
             for zx in 0..znx {
-                let any_kept = cells
-                    .iter()
-                    .any(|&(x, y)| x / b == zx && y / b == zy);
+                let any_kept = cells.iter().any(|&(x, y)| x / b == zx && y / b == zy);
                 if any_kept {
                     zip_cells.push((zx, zy));
                 }
@@ -319,7 +317,11 @@ mod tests {
         let city = CityModel::generate(CityConfig::default());
         assert!(city.popularity.iter().all(|&w| w > 0.0));
         let max = city.popularity.iter().cloned().fold(0.0, f64::max);
-        let min = city.popularity.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = city
+            .popularity
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(max / min > 2.0, "hotspots should dominate: {max} / {min}");
     }
 
@@ -328,7 +330,10 @@ mod tests {
         let a = CityModel::generate(CityConfig::default());
         let b = CityModel::generate(CityConfig::default());
         assert_eq!(a.cells, b.cells);
-        let c = CityModel::generate(CityConfig { seed: 999, ..CityConfig::default() });
+        let c = CityModel::generate(CityConfig {
+            seed: 999,
+            ..CityConfig::default()
+        });
         // Different seed may change the mask (edge cells are random).
         let _ = c;
     }

@@ -32,9 +32,9 @@ pub mod urban;
 pub mod util;
 pub mod weather;
 
-pub use city::{CityModel, CityConfig};
+pub use city::{CityConfig, CityModel};
 pub use events::{EventKind, EventWindow, UrbanEvents};
 pub use noise::add_iqr_noise;
-pub use opendata::{open_collection, OpenConfig, OpenCollection};
+pub use opendata::{open_collection, OpenCollection, OpenConfig};
 pub use urban::{urban_collection, UrbanCollection, UrbanConfig};
 pub use weather::{WeatherConfig, WeatherTrace};

@@ -74,9 +74,7 @@ pub fn open_collection(config: OpenConfig) -> OpenCollection {
     let latents: Vec<Vec<usize>> = (0..n_pairs)
         .map(|_| {
             let n_events = rng.gen_range(8..20);
-            let mut hours: Vec<usize> = (0..n_events)
-                .map(|_| rng.gen_range(0..n_hours))
-                .collect();
+            let mut hours: Vec<usize> = (0..n_events).map(|_| rng.gen_range(0..n_hours)).collect();
             hours.sort_unstable();
             hours.dedup();
             hours
@@ -157,9 +155,7 @@ fn open_dataset(
         }
         if let Some(latent) = latent {
             // Spike when any latent hour falls in this record's bucket.
-            let hit = latent
-                .iter()
-                .any(|&lh| lh >= h && lh < h + step_hours);
+            let hit = latent.iter().any(|&lh| lh >= h && lh < h + step_hours);
             if hit {
                 values[0] += amp * (1.0 + 0.2 * gaussian(&mut rng).abs());
             }

@@ -49,7 +49,11 @@ pub struct Ar1 {
 impl Ar1 {
     /// New process starting at 0.
     pub fn new(phi: f64, sigma: f64) -> Self {
-        Self { phi, sigma, state: 0.0 }
+        Self {
+            phi,
+            sigma,
+            state: 0.0,
+        }
     }
 
     /// Advances one step and returns the new value.
@@ -112,8 +116,7 @@ mod tests {
         let samples: Vec<f64> = (0..20_000).map(|_| ar.step(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         // Stationary variance = sigma^2 / (1 - phi^2) ≈ 5.26.
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.3, "mean {mean}");
         assert!((var - 5.26).abs() < 1.0, "var {var}");
     }

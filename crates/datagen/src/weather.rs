@@ -87,19 +87,18 @@ impl WeatherTrace {
         // Rain arrives in storms: exponential inter-arrival, random length.
         let mut rain_left = 0usize; // hours of rain remaining
         let mut rain_strength = 0.0f64;
-        let mut next_rain_in =
-            (-(rng.gen::<f64>().max(1e-9)).ln() * 60.0).ceil() as usize;
+        let mut next_rain_in = (-(rng.gen::<f64>().max(1e-9)).ln() * 60.0).ceil() as usize;
 
         let mut hours = Vec::with_capacity(n_hours);
         let mut snow_depth = 0.0f64;
         for h in 0..n_hours {
             let ts = start + h as i64 * SECS_PER_HOUR;
             let date = polygamy_stdata::temporal::date_of(ts);
-            let doy = (ts - CivilDate::new(date.year, 1, 1).timestamp()) as f64 / SECS_PER_DAY as f64;
+            let doy =
+                (ts - CivilDate::new(date.year, 1, 1).timestamp()) as f64 / SECS_PER_DAY as f64;
             let hod = (ts.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as f64;
 
-            let seasonal = 12.0
-                + 14.0 * ((doy - 105.0) / 365.25 * std::f64::consts::TAU).sin();
+            let seasonal = 12.0 + 14.0 * ((doy - 105.0) / 365.25 * std::f64::consts::TAU).sin();
             let diurnal = 4.0 * ((hod - 9.0) / 24.0 * std::f64::consts::TAU).sin();
             let temperature = seasonal + diurnal + temp_ar.step(&mut rng);
 
@@ -108,8 +107,7 @@ impl WeatherTrace {
                 if next_rain_in == 0 {
                     rain_left = rng.gen_range(3..18);
                     rain_strength = (gaussian(&mut rng).abs() * 3.0 + 1.0).min(15.0);
-                    next_rain_in =
-                        (-(rng.gen::<f64>().max(1e-9)).ln() * 60.0).ceil() as usize;
+                    next_rain_in = (-(rng.gen::<f64>().max(1e-9)).ln() * 60.0).ceil() as usize;
                 } else {
                     next_rain_in -= 1;
                 }
@@ -137,13 +135,10 @@ impl WeatherTrace {
             // Snowstorms dump snow.
             snow_fall += 6.0 * snowstorm;
 
-            snow_depth = (snow_depth + snow_fall
-                - 0.12 * temperature.max(0.0)
-                - 0.02 * snow_depth)
-                .max(0.0);
+            snow_depth =
+                (snow_depth + snow_fall - 0.12 * temperature.max(0.0) - 0.02 * snow_depth).max(0.0);
 
-            let wind_speed =
-                (9.0 + wind_ar.step(&mut rng).abs() * 2.0 + 85.0 * hurricane).max(0.0);
+            let wind_speed = (9.0 + wind_ar.step(&mut rng).abs() * 2.0 + 85.0 * hurricane).max(0.0);
             let visibility = (10.0
                 - 6.0 * (precipitation / 10.0).min(1.0)
                 - 5.0 * (snow_fall / 4.0).min(1.0)
@@ -183,8 +178,8 @@ impl WeatherTrace {
 
     /// Weather at a timestamp (clamped to the simulated window).
     pub fn at(&self, ts: Timestamp) -> &HourWeather {
-        let idx = ((ts - self.start) / SECS_PER_HOUR)
-            .clamp(0, self.hours.len() as i64 - 1) as usize;
+        let idx =
+            ((ts - self.start) / SECS_PER_HOUR).clamp(0, self.hours.len() as i64 - 1) as usize;
         &self.hours[idx]
     }
 
@@ -273,11 +268,7 @@ mod tests {
     #[test]
     fn hurricanes_dominate_wind() {
         let (t, ev) = trace();
-        let sandy = ev
-            .events
-            .iter()
-            .find(|e| e.name.contains("Sandy"))
-            .unwrap();
+        let sandy = ev.events.iter().find(|e| e.name.contains("Sandy")).unwrap();
         let mid = (sandy.start + sandy.end) / 2;
         let storm_wind = t.at(mid).wind_speed;
         // Typical wind is ~9-15; the hurricane must be an extreme outlier.
@@ -297,7 +288,11 @@ mod tests {
         let (t, ev) = trace();
         let storm = ev.of_kind(EventKind::Snowstorm).next().unwrap();
         let after = storm.end + 6 * SECS_PER_HOUR;
-        assert!(t.at(after).snow_depth > 1.0, "depth {}", t.at(after).snow_depth);
+        assert!(
+            t.at(after).snow_depth > 1.0,
+            "depth {}",
+            t.at(after).snow_depth
+        );
         // Snow melts by mid-summer.
         let july = CivilDate::new(2011, 7, 20).at_hour(12);
         assert_eq!(t.at(july).snow_depth, 0.0);
@@ -325,8 +320,20 @@ mod tests {
     #[test]
     fn deterministic() {
         let events = UrbanEvents::default_calendar(2011, 1);
-        let a = WeatherTrace::generate(WeatherConfig { n_years: 1, ..Default::default() }, &events);
-        let b = WeatherTrace::generate(WeatherConfig { n_years: 1, ..Default::default() }, &events);
+        let a = WeatherTrace::generate(
+            WeatherConfig {
+                n_years: 1,
+                ..Default::default()
+            },
+            &events,
+        );
+        let b = WeatherTrace::generate(
+            WeatherConfig {
+                n_years: 1,
+                ..Default::default()
+            },
+            &events,
+        );
         assert_eq!(a.hours[1000], b.hours[1000]);
     }
 }

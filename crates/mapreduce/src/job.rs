@@ -15,6 +15,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
+/// One reduce partition's input, handed off to exactly one reduce task.
+type ReduceSlot<K, V> = Mutex<Option<Vec<(K, V)>>>;
+
 /// Tuning knobs for a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobConfig {
@@ -152,7 +155,7 @@ where
         }
     }
     metrics.pairs_shuffled = reduce_inputs.iter().map(Vec::len).sum();
-    let reduce_slots: Vec<Mutex<Option<Vec<(K, V)>>>> = reduce_inputs
+    let reduce_slots: Vec<ReduceSlot<K, V>> = reduce_inputs
         .into_iter()
         .map(|c| Mutex::new(Some(c)))
         .collect();

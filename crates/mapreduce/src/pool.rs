@@ -1,4 +1,4 @@
-//! Scoped worker pool over crossbeam.
+//! Scoped worker pool over `std::thread::scope`.
 //!
 //! Tasks are indexed work items pulled off a shared atomic counter by a
 //! fixed number of worker threads — the same self-scheduling model Hadoop
@@ -25,13 +25,13 @@ where
     let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
     // Hand each worker a disjoint view of the result slots through a
     // channel of (index, result) messages; the receiver owns `slots`.
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    crossbeam::thread::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n_tasks) {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_tasks {
                     break;
@@ -46,8 +46,7 @@ where
         while let Ok((i, r)) = rx.recv() {
             slots[i] = Some(r);
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("every task ran"))
@@ -85,7 +84,6 @@ mod tests {
         let counter = AtomicU64::new(0);
         let out = run_indexed_tasks(7, 1_000, |_| {
             counter.fetch_add(1, Ordering::Relaxed);
-            ()
         });
         assert_eq!(out.len(), 1_000);
         assert_eq!(counter.load(Ordering::Relaxed), 1_000);

@@ -1,0 +1,270 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access. This shim keeps criterion's
+//! bench-authoring API (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_with_input`, `Throughput`) and runs
+//! each benchmark with a short warm-up followed by `sample_size` timed
+//! samples, reporting min/mean/max wall-clock per iteration. There is no
+//! statistical analysis, HTML report or history — the numbers are honest
+//! but the machinery is deliberately small.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (elements or bytes per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Per-iteration timing callback target (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times the closure: a warm-up pass, then `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let samples = if self.quick { 1 } else { self.sample_size };
+        // One warm-up iteration so first-touch effects stay out of samples.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            quick: std::env::var_os("POLYGAMY_QUICK").is_some()
+                || std::env::args().any(|a| a == "--test" || a == "--quick"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, None, id, None, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group only (as in upstream
+    /// criterion, the override does not outlive the group).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            self.criterion,
+            Some(&self.name),
+            &id.id,
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I, IdT, F>(&mut self, id: IdT, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        IdT: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            self.criterion,
+            Some(&self.name),
+            &id.id,
+            self.throughput,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (report output happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.unwrap_or(criterion.sample_size),
+        quick: criterion.quick,
+    };
+    f(&mut bencher);
+    let full_name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if bencher.samples.is_empty() {
+        println!("{full_name:<50} (no samples: bencher.iter never called)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = *bencher.samples.iter().min().unwrap();
+    let max = *bencher.samples.iter().max().unwrap();
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            "  {:>12.0} elem/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+        Throughput::Bytes(n) => format!(
+            "  {:>12.0} B/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    });
+    println!(
+        "{full_name:<50} time: [{} {} {}]{}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

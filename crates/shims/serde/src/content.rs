@@ -1,0 +1,43 @@
+//! The self-describing value tree shared by serialization and
+//! deserialization.
+
+/// A serialized value: the JSON data model plus an integer fast path.
+///
+/// Serializers produce a `Content` tree; deserializers read one. `NaN`
+/// floats serialize as [`Content::Null`] (JSON has no NaN) and `Null`
+/// deserializes back to NaN for float targets, so scalar fields with
+/// undefined points round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer (kept separate to round-trip `u64 > i64::MAX`).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short human-readable label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Serialization half of the shim: serde-shaped traits over [`Content`].
+
+use crate::content::Content;
+use std::fmt::Display;
+
+/// Error trait for serializers (mirrors `serde::ser::Error`).
+pub trait Error: Sized + Display {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// The concrete serialization error.
+#[derive(Debug, Clone)]
+pub struct SerError(pub String);
+
+impl Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// A data format that can serialize the shim's data model.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Struct sub-serializer returned by [`Serializer::serialize_struct`].
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float (`NaN` becomes null).
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value as null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::Some(value)` transparently.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant as its name.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a data-carrying enum variant, externally tagged.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes everything an iterator yields as a sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize;
+    /// Serializes string-keyed pairs as a map.
+    fn collect_map<K, V, I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        I: IntoIterator<Item = (K, V)>;
+    /// Begins serializing a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// Field-by-field struct serialization (mirrors `serde::ser::SerializeStruct`).
+pub trait SerializeStruct {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Serializes one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value serializable by any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The workhorse serializer: builds a [`Content`] tree.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ContentSerializer;
+
+/// In-progress struct serialization for [`ContentSerializer`].
+#[derive(Debug, Default)]
+pub struct ContentStructSerializer {
+    fields: Vec<(String, Content)>,
+}
+
+impl SerializeStruct for ContentStructSerializer {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        let v = value.serialize(ContentSerializer)?;
+        self.fields.push((key.to_string(), v));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Self::Ok, Self::Error> {
+        Ok(Content::Map(self.fields))
+    }
+}
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = SerError;
+    type SerializeStruct = ContentStructSerializer;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, SerError> {
+        Ok(Content::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Content, SerError> {
+        Ok(Content::I64(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Content, SerError> {
+        Ok(Content::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Content, SerError> {
+        // JSON cannot represent NaN/inf; the shim maps them to null and
+        // float deserialization maps null back to NaN.
+        if v.is_finite() {
+            Ok(Content::F64(v))
+        } else if v.is_nan() {
+            Ok(Content::Null)
+        } else {
+            Err(SerError::custom("cannot serialize infinite float"))
+        }
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Content, SerError> {
+        Ok(Content::Str(v.to_string()))
+    }
+
+    fn serialize_unit(self) -> Result<Content, SerError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_none(self) -> Result<Content, SerError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Content, SerError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Content, SerError> {
+        Ok(Content::Str(variant.to_string()))
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Content, SerError> {
+        let v = value.serialize(ContentSerializer)?;
+        Ok(Content::Map(vec![(variant.to_string(), v)]))
+    }
+
+    fn collect_seq<I>(self, iter: I) -> Result<Content, SerError>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let items: Result<Vec<Content>, SerError> = iter
+            .into_iter()
+            .map(|item| item.serialize(ContentSerializer))
+            .collect();
+        Ok(Content::Seq(items?))
+    }
+
+    fn collect_map<K, V, I>(self, iter: I) -> Result<Content, SerError>
+    where
+        K: Serialize,
+        V: Serialize,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut fields = Vec::new();
+        for (k, v) in iter {
+            let key = match k.serialize(ContentSerializer)? {
+                Content::Str(s) => s,
+                Content::I64(i) => i.to_string(),
+                Content::U64(u) => u.to_string(),
+                other => {
+                    return Err(SerError::custom(format!(
+                        "map key must be a string or integer, got {}",
+                        other.kind()
+                    )))
+                }
+            };
+            fields.push((key, v.serialize(ContentSerializer)?));
+        }
+        Ok(Content::Map(fields))
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<ContentStructSerializer, SerError> {
+        Ok(ContentStructSerializer {
+            fields: Vec::with_capacity(len),
+        })
+    }
+}
+
+/// Serializes any value to a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, SerError> {
+    value.serialize(ContentSerializer)
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty => $method:ident as $as:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as $as)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int! {
+    i8 => serialize_i64 as i64,
+    i16 => serialize_i64 as i64,
+    i32 => serialize_i64 as i64,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u64 as u64,
+    u16 => serialize_u64 as u64,
+    u32 => serialize_u64 as u64,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut buf = [0u8; 4];
+        serializer.serialize_str(self.encode_utf8(&mut buf))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq([
+            to_content(&self.0).map_err(S::Error::custom)?,
+            to_content(&self.1).map_err(S::Error::custom)?,
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq([
+            to_content(&self.0).map_err(S::Error::custom)?,
+            to_content(&self.1).map_err(S::Error::custom)?,
+            to_content(&self.2).map_err(S::Error::custom)?,
+        ])
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Content::Null => serializer.serialize_unit(),
+            Content::Bool(b) => serializer.serialize_bool(*b),
+            Content::I64(i) => serializer.serialize_i64(*i),
+            Content::U64(u) => serializer.serialize_u64(*u),
+            Content::F64(f) => serializer.serialize_f64(*f),
+            Content::Str(s) => serializer.serialize_str(s),
+            Content::Seq(items) => serializer.collect_seq(items.iter()),
+            Content::Map(fields) => {
+                serializer.collect_map(fields.iter().map(|(k, v)| (k.as_str(), v)))
+            }
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_map(self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_map(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}

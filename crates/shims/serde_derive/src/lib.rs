@@ -1,0 +1,557 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-repo serde shim.
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are not
+//! available; this macro walks `proc_macro::TokenStream` directly. It
+//! supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields, including `#[serde(with = "module")]`
+//!   field overrides;
+//! * tuple structs (encoded as sequences);
+//! * enums with unit, newtype and tuple variants (externally tagged).
+//!
+//! Generics, struct enum variants and the wider `#[serde(...)]` attribute
+//! vocabulary are intentionally unsupported and fail with a clear panic at
+//! expansion time.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        types: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips attributes, returning any `#[serde(with = "path")]` override.
+    fn skip_attributes(&mut self) -> Option<String> {
+        let mut with = None;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde shim derive: malformed attribute");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(name)) = inner.first() {
+                if name.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        with = Some(parse_with(args.stream()));
+                    }
+                }
+            }
+        }
+        with
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+/// Extracts `path` from `with = "path"` attribute arguments.
+fn parse_with(args: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let s = lit.to_string();
+            s.trim_matches('"').to_string()
+        }
+        _ => panic!(
+            "serde shim derive: only #[serde(with = \"module\")] is supported, got #[serde({})]",
+            TokenStream::from_iter(tokens)
+        ),
+    }
+}
+
+/// Splits a token stream on top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            // The '>' of `->` / `=>` is an arrow, not a closing angle
+            // bracket (its lead punct is spacing-joint).
+            let arrow_tail = p.as_char() == '>'
+                && matches!(
+                    current.last(),
+                    Some(TokenTree::Punct(prev))
+                        if matches!(prev.as_char(), '-' | '=')
+                            && prev.spacing() == Spacing::Joint
+                );
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !arrow_tail => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    TokenStream::from_iter(tokens.iter().cloned()).to_string()
+}
+
+/// Parses one named field: `attrs vis name: Type`.
+fn parse_named_field(tokens: Vec<TokenTree>) -> Option<Field> {
+    let mut c = Cursor { tokens, pos: 0 };
+    let with = c.skip_attributes();
+    if c.at_end() {
+        return None;
+    }
+    c.skip_visibility();
+    let name = c.expect_ident();
+    match c.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+        other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+    }
+    let ty = tokens_to_string(&c.tokens[c.pos..]);
+    Some(Field { name, ty, with })
+}
+
+/// Parses one tuple-struct / tuple-variant element: `attrs vis Type`.
+fn parse_tuple_element(tokens: Vec<TokenTree>) -> Option<String> {
+    let mut c = Cursor { tokens, pos: 0 };
+    let with = c.skip_attributes();
+    if with.is_some() {
+        panic!("serde shim derive: #[serde(with)] is not supported on tuple fields");
+    }
+    if c.at_end() {
+        return None;
+    }
+    c.skip_visibility();
+    Some(tokens_to_string(&c.tokens[c.pos..]))
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .filter_map(|tokens| {
+            let mut c = Cursor { tokens, pos: 0 };
+            c.skip_attributes();
+            if c.at_end() {
+                return None;
+            }
+            let name = c.expect_ident();
+            let kind = match c.next() {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(
+                        split_commas(g.stream())
+                            .into_iter()
+                            .filter_map(parse_tuple_element)
+                            .collect(),
+                    )
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(
+                        split_commas(g.stream())
+                            .into_iter()
+                            .filter_map(parse_named_field)
+                            .collect(),
+                    )
+                }
+                other => {
+                    panic!("serde shim derive: unexpected token in variant `{name}`: {other:?}")
+                }
+            };
+            Some(Variant { name, kind })
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (`{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: split_commas(g.stream())
+                    .into_iter()
+                    .filter_map(parse_named_field)
+                    .collect(),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    types: split_commas(g.stream())
+                        .into_iter()
+                        .filter_map(parse_tuple_element)
+                        .collect(),
+                }
+            }
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__s, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    None => body.push_str(&format!(
+                        "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &self.{fname})?;\n"
+                    )),
+                    Some(with) => body.push_str(&format!(
+                        "{{\n\
+                         struct __SerWith<'__w>(&'__w {ty});\n\
+                         impl<'__w> ::serde::Serialize for __SerWith<'__w> {{\n\
+                         fn serialize<__S2: ::serde::Serializer>(&self, __s2: __S2) -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                         {with}::serialize(self.0, __s2)\n\
+                         }}\n\
+                         }}\n\
+                         ::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &__SerWith(&self.{fname}))?;\n\
+                         }}\n",
+                        ty = f.ty,
+                    )),
+                }
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)\n");
+            out.push_str(&impl_serialize(name, &body));
+        }
+        Item::TupleStruct { name, types } => {
+            let elems: Vec<String> = (0..types.len())
+                .map(|i| {
+                    format!(
+                        "::serde::ser::to_content(&self.{i}).map_err(::serde::ser::Error::custom)?"
+                    )
+                })
+                .collect();
+            let body = format!(
+                "::serde::Serializer::collect_seq(__s, [{}])\n",
+                elems.join(", ")
+            );
+            out.push_str(&impl_serialize(name, &body));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__s, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(types) if types.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__s, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(types) => {
+                        let binds: Vec<String> =
+                            (0..types.len()).map(|i| format!("__f{i}")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({b}) => ::serde::Serializer::serialize_newtype_variant(__s, \"{name}\", {idx}u32, \"{vname}\", &({b})),\n",
+                            b = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let decls: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: &'__w {}", f.name, f.ty))
+                            .collect();
+                        let mut payload_body = format!(
+                            "let mut __st = ::serde::Serializer::serialize_struct(__s2, \"{vname}\", {}usize)?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            payload_body.push_str(&format!(
+                                "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{0}\", self.{0})?;\n",
+                                f.name
+                            ));
+                        }
+                        payload_body.push_str("::serde::ser::SerializeStruct::end(__st)\n");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {b} }} => {{\n\
+                             struct __SerVariant<'__w> {{ {decls} }}\n\
+                             impl<'__w> ::serde::Serialize for __SerVariant<'__w> {{\n\
+                             fn serialize<__S2: ::serde::Serializer>(&self, __s2: __S2) -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                             {payload_body}\
+                             }}\n\
+                             }}\n\
+                             ::serde::Serializer::serialize_newtype_variant(__s, \"{name}\", {idx}u32, \"{vname}\", &__SerVariant {{ {b} }})\n\
+                             }},\n",
+                            b = binds.join(", "),
+                            decls = decls.join(", "),
+                        ));
+                    }
+                }
+            }
+            let body = format!("match self {{\n{arms}}}\n");
+            out.push_str(&impl_serialize(name, &body));
+        }
+    }
+    out
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __c = ::serde::Deserializer::content(__d)?;\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                let fetch = format!(
+                    "let __f = ::serde::__private::find(__m, \"{fname}\")\
+                     .ok_or_else(|| <__D::Error as ::serde::de::Error>::custom(\
+                     \"missing field `{fname}` in {name}\"))?;\n"
+                );
+                let value = match &f.with {
+                    None => "::serde::Deserialize::deserialize(::serde::__private::cd::<__D::Error>(__f))?".to_string(),
+                    Some(with) => format!("{with}::deserialize(::serde::__private::cd::<__D::Error>(__f))?"),
+                };
+                inits.push_str(&format!("{fname}: {{ {fetch} {value} }},\n"));
+            }
+            let body = format!(
+                "let __m = match __c {{\n\
+                 ::serde::Content::Map(m) => m.as_slice(),\n\
+                 _ => return Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected map for struct {name}, got {{}}\", __c.kind()))),\n\
+                 }};\n\
+                 Ok({name} {{\n{inits}}})\n"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, types } => {
+            let n = types.len();
+            let elems: Vec<String> = (0..n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(::serde::__private::cd::<__D::Error>(&__items[{i}]))?"
+                    )
+                })
+                .collect();
+            let body = format!(
+                "let __items = match __c {{\n\
+                 ::serde::Content::Seq(items) if items.len() == {n} => items.as_slice(),\n\
+                 _ => return Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"expected {n}-element sequence for tuple struct {name}\")),\n\
+                 }};\n\
+                 Ok({name}({}))\n",
+                elems.join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n")),
+                    VariantKind::Tuple(types) if types.len() == 1 => data_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::deserialize(::serde::__private::cd::<__D::Error>(__v))?)),\n"
+                    )),
+                    VariantKind::Tuple(types) => {
+                        let tuple_ty = format!("({},)", types.join(", "));
+                        let fields: Vec<String> =
+                            (0..types.len()).map(|i| format!("__t.{i}")).collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __t: {tuple_ty} = ::serde::Deserialize::deserialize(::serde::__private::cd::<__D::Error>(__v))?;\n\
+                             Ok({name}::{vname}({}))\n\
+                             }},\n",
+                            fields.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.with.is_some() {
+                                panic!("serde shim derive: #[serde(with)] is not supported inside enum variants");
+                            }
+                            inits.push_str(&format!(
+                                "{0}: {{\n\
+                                 let __f = ::serde::__private::find(__m2, \"{0}\")\
+                                 .ok_or_else(|| <__D::Error as ::serde::de::Error>::custom(\
+                                 \"missing field `{0}` in variant {vname} of {name}\"))?;\n\
+                                 ::serde::Deserialize::deserialize(::serde::__private::cd::<__D::Error>(__f))?\n\
+                                 }},\n",
+                                f.name
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __m2 = match __v {{\n\
+                             ::serde::Content::Map(m) => m.as_slice(),\n\
+                             _ => return Err(<__D::Error as ::serde::de::Error>::custom(\
+                             \"expected map payload for variant {vname} of {name}\")),\n\
+                             }};\n\
+                             Ok({name}::{vname} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected variant of {name}, got {{}}\", __c.kind()))),\n\
+                 }}\n"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -120,7 +120,11 @@ pub fn mi_score_binned(x: &[f64], y: &[f64], bins: usize) -> f64 {
 /// [`mi_score_binned`] with the Sturges-style default bin count
 /// `ceil(log2(n)) + 1`.
 pub fn mi_score(x: &[f64], y: &[f64]) -> f64 {
-    let n = x.iter().zip(y).filter(|(a, b)| a.is_finite() && b.is_finite()).count();
+    let n = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .count();
     if n < 2 {
         return f64::NAN;
     }
@@ -135,9 +139,8 @@ pub fn dtw_distance(x: &[f64], y: &[f64], band: Option<usize>) -> f64 {
     if n == 0 || m == 0 {
         return f64::NAN;
     }
-    let w = band
-        .unwrap_or(n.max(m))
-        .max(n.abs_diff(m)); // band must cover the diagonal offset
+    // Band must cover the diagonal offset.
+    let w = band.unwrap_or(n.max(m)).max(n.abs_diff(m));
     // Two-row DP.
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut cur = vec![f64::INFINITY; m + 1];
@@ -240,8 +243,12 @@ mod tests {
     #[test]
     fn mi_independent_is_low() {
         // Deterministic pseudo-random independent-ish streams.
-        let x: Vec<f64> = (0..500).map(|i| ((i * 2_654_435_761u64) % 1000) as f64).collect();
-        let y: Vec<f64> = (0..500).map(|i| ((i * 2_246_822_519u64 + 7) % 1000) as f64).collect();
+        let x: Vec<f64> = (0..500)
+            .map(|i| ((i * 2_654_435_761u64) % 1000) as f64)
+            .collect();
+        let y: Vec<f64> = (0..500)
+            .map(|i| ((i * 2_246_822_519u64 + 7) % 1000) as f64)
+            .collect();
         let mi = mi_score(&x, &y);
         assert!(mi < 0.35, "independent streams should score low: {mi}");
     }

@@ -141,10 +141,7 @@ mod tests {
             let best = (1..sorted.len())
                 .map(|s| wcss(&sorted[..s], &sorted[s..]))
                 .fold(f64::INFINITY, f64::min);
-            let ours = wcss(
-                &sorted[..tm.low_count],
-                &sorted[tm.low_count..],
-            );
+            let ours = wcss(&sorted[..tm.low_count], &sorted[tm.low_count..]);
             assert!((ours - best).abs() < 1e-9, "suboptimal split for {case:?}");
         }
     }

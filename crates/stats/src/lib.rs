@@ -20,7 +20,9 @@ pub mod descriptive;
 pub mod kmeans;
 pub mod permutation;
 
-pub use baselines::{dtw_distance, dtw_score, mi_score, mi_score_binned, pcc_score, BaselineScores};
+pub use baselines::{
+    dtw_distance, dtw_score, mi_score, mi_score_binned, pcc_score, BaselineScores,
+};
 pub use descriptive::{iqr, mean, quantile, stddev, variance, z_normalize, Summary};
 pub use kmeans::{two_means_1d, TwoMeans};
 pub use permutation::{

@@ -173,7 +173,10 @@ pub fn graph_toroidal_shift<R: Rng + ?Sized>(adjacency: &[Vec<u32>], rng: &mut R
     for (i, b) in unassigned.into_iter().zip(free) {
         image[i] = Some(b);
     }
-    image.into_iter().map(|v| v.expect("all assigned")).collect()
+    image
+        .into_iter()
+        .map(|v| v.expect("all assigned"))
+        .collect()
 }
 
 /// Composes a spatial region permutation with a temporal rotation into a

@@ -166,9 +166,9 @@ pub fn aggregate(
         FunctionKind::Unique => {
             let keys = dataset.keys().expect("checked above");
             let mut pairs: Vec<(u32, u64)> = Vec::new();
-            for i in 0..dataset.len() {
+            for (i, &key) in keys.iter().enumerate() {
                 if let Some(c) = cell_of(i) {
-                    pairs.push((c as u32, keys[i]));
+                    pairs.push((c as u32, key));
                 }
             }
             pairs.sort_unstable();
@@ -187,8 +187,7 @@ pub fn aggregate(
                 AggregateKind::Mean | AggregateKind::Sum => {
                     let mut sums = vec![0.0f64; field.len()];
                     let mut counts = vec![0u64; field.len()];
-                    for i in 0..dataset.len() {
-                        let v = col[i];
+                    for (i, &v) in col.iter().enumerate() {
                         if v.is_nan() {
                             continue;
                         }
@@ -208,8 +207,7 @@ pub fn aggregate(
                     }
                 }
                 AggregateKind::Min | AggregateKind::Max => {
-                    for i in 0..dataset.len() {
-                        let v = col[i];
+                    for (i, &v) in col.iter().enumerate() {
                         if v.is_nan() {
                             continue;
                         }
@@ -227,8 +225,7 @@ pub fn aggregate(
                 }
                 AggregateKind::Median => {
                     let mut pairs: Vec<(u32, f64)> = Vec::new();
-                    for i in 0..dataset.len() {
-                        let v = col[i];
+                    for (i, &v) in col.iter().enumerate() {
                         if v.is_nan() {
                             continue;
                         }
@@ -237,7 +234,8 @@ pub fn aggregate(
                         }
                     }
                     pairs.sort_unstable_by(|a, b| {
-                        a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN here"))
+                        a.0.cmp(&b.0)
+                            .then(a.1.partial_cmp(&b.1).expect("no NaN here"))
                     });
                     let mut i = 0;
                     while i < pairs.len() {
@@ -383,8 +381,8 @@ pub fn coarsen_spatial(
     );
     let mut counts = vec![0u64; out.len()];
     for z in 0..field.n_steps {
-        for x in 0..field.n_regions {
-            let Some(cx) = mapping[x] else { continue };
+        for (x, m) in mapping.iter().enumerate() {
+            let Some(cx) = *m else { continue };
             let v = field.value(x, z);
             if v.is_nan() {
                 continue;
@@ -434,23 +432,35 @@ mod tests {
             .attribute(AttributeMeta::named("fare"))
             .with_keys();
         // Hour 0, region 0: two trips, keys 1 and 1 (same taxi), fares 10, 20.
-        b.push_keyed(1, GeoPoint::new(0.5, 0.5), 10, &[10.0]).unwrap();
-        b.push_keyed(1, GeoPoint::new(0.6, 0.5), 20, &[20.0]).unwrap();
+        b.push_keyed(1, GeoPoint::new(0.5, 0.5), 10, &[10.0])
+            .unwrap();
+        b.push_keyed(1, GeoPoint::new(0.6, 0.5), 20, &[20.0])
+            .unwrap();
         // Hour 0, region 1: one trip, key 2, fare NaN (missing).
-        b.push_keyed(2, GeoPoint::new(1.5, 0.5), 30, &[f64::NAN]).unwrap();
+        b.push_keyed(2, GeoPoint::new(1.5, 0.5), 30, &[f64::NAN])
+            .unwrap();
         // Hour 1, region 1: two trips, keys 2 and 3.
-        b.push_keyed(2, GeoPoint::new(1.5, 0.5), 3_700, &[6.0]).unwrap();
-        b.push_keyed(3, GeoPoint::new(1.2, 0.2), 3_800, &[8.0]).unwrap();
+        b.push_keyed(2, GeoPoint::new(1.5, 0.5), 3_700, &[6.0])
+            .unwrap();
+        b.push_keyed(3, GeoPoint::new(1.2, 0.2), 3_800, &[8.0])
+            .unwrap();
         // Outside partition: dropped.
-        b.push_keyed(4, GeoPoint::new(9.0, 9.0), 100, &[99.0]).unwrap();
+        b.push_keyed(4, GeoPoint::new(9.0, 9.0), 100, &[99.0])
+            .unwrap();
         b.build().unwrap()
     }
 
     #[test]
     fn density() {
         let d = sample_dataset();
-        let f = aggregate(&d, &partition(), TemporalResolution::Hour, FunctionKind::Density, None)
-            .unwrap();
+        let f = aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Density,
+            None,
+        )
+        .unwrap();
         assert_eq!(f.n_regions, 2);
         assert_eq!(f.n_steps, 2);
         assert_eq!(f.value(0, 0), 2.0);
@@ -462,8 +472,14 @@ mod tests {
     #[test]
     fn unique_counts_distinct_keys() {
         let d = sample_dataset();
-        let f = aggregate(&d, &partition(), TemporalResolution::Hour, FunctionKind::Unique, None)
-            .unwrap();
+        let f = aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Unique,
+            None,
+        )
+        .unwrap();
         assert_eq!(f.value(0, 0), 1.0); // key 1 twice -> 1 unique
         assert_eq!(f.value(1, 1), 2.0); // keys 2, 3
     }
@@ -475,7 +491,10 @@ mod tests {
             &d,
             &partition(),
             TemporalResolution::Hour,
-            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Mean },
+            FunctionKind::Attribute {
+                attr: 0,
+                agg: AggregateKind::Mean,
+            },
             None,
         )
         .unwrap();
@@ -491,7 +510,10 @@ mod tests {
             &d,
             &partition(),
             TemporalResolution::Hour,
-            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Min },
+            FunctionKind::Attribute {
+                attr: 0,
+                agg: AggregateKind::Min,
+            },
             None,
         )
         .unwrap();
@@ -500,7 +522,10 @@ mod tests {
             &d,
             &partition(),
             TemporalResolution::Hour,
-            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Max },
+            FunctionKind::Attribute {
+                attr: 0,
+                agg: AggregateKind::Max,
+            },
             None,
         )
         .unwrap();
@@ -509,7 +534,10 @@ mod tests {
             &d,
             &partition(),
             TemporalResolution::Hour,
-            FunctionKind::Attribute { attr: 0, agg: AggregateKind::Median },
+            FunctionKind::Attribute {
+                attr: 0,
+                agg: AggregateKind::Median,
+            },
             None,
         )
         .unwrap();
@@ -520,8 +548,14 @@ mod tests {
     fn city_scale_keeps_out_of_polygon_records() {
         let d = sample_dataset();
         let city = SpatialPartition::city(0.0, 0.0, 2.0, 1.0);
-        let f = aggregate(&d, &city, TemporalResolution::Hour, FunctionKind::Density, None)
-            .unwrap();
+        let f = aggregate(
+            &d,
+            &city,
+            TemporalResolution::Hour,
+            FunctionKind::Density,
+            None,
+        )
+        .unwrap();
         // All 4 hour-0 records (incl. the out-of-polygon one) count at city scale.
         assert_eq!(f.value(0, 0), 4.0);
         assert_eq!(f.value(0, 1), 2.0);
@@ -553,8 +587,14 @@ mod tests {
         let mut b = DatasetBuilder::new(meta);
         b.push(GeoPoint::new(0.5, 0.5), 10, &[]).unwrap();
         let d = b.build().unwrap();
-        assert!(aggregate(&d, &partition(), TemporalResolution::Hour, FunctionKind::Unique, None)
-            .is_err());
+        assert!(aggregate(
+            &d,
+            &partition(),
+            TemporalResolution::Hour,
+            FunctionKind::Unique,
+            None
+        )
+        .is_err());
     }
 
     #[test]

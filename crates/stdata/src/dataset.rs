@@ -252,7 +252,10 @@ impl DatasetBuilder {
 
     /// Declares that records carry identifier keys.
     pub fn with_keys(mut self) -> Self {
-        debug_assert!(self.times.is_empty(), "keys must be declared before records");
+        debug_assert!(
+            self.times.is_empty(),
+            "keys must be declared before records"
+        );
         self.keys = Some(Vec::new());
         self
     }
@@ -393,8 +396,10 @@ mod tests {
             .attribute(AttributeMeta::named("fare"))
             .attribute(AttributeMeta::named("miles"))
             .with_keys();
-        b.push_keyed(7, GeoPoint::new(1.0, 2.0), 100, &[12.5, 3.1]).unwrap();
-        b.push_keyed(9, GeoPoint::new(2.0, 3.0), 200, &[8.0, f64::NAN]).unwrap();
+        b.push_keyed(7, GeoPoint::new(1.0, 2.0), 100, &[12.5, 3.1])
+            .unwrap();
+        b.push_keyed(9, GeoPoint::new(2.0, 3.0), 200, &[8.0, f64::NAN])
+            .unwrap();
         let d = b.build().unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(d.attribute_count(), 2);
@@ -410,7 +415,13 @@ mod tests {
     fn schema_mismatch_rejected() {
         let mut b = DatasetBuilder::new(meta("d")).attribute(AttributeMeta::named("a"));
         let err = b.push(GeoPoint::new(0.0, 0.0), 0, &[1.0, 2.0]).unwrap_err();
-        assert_eq!(err, Error::SchemaMismatch { expected: 1, found: 2 });
+        assert_eq!(
+            err,
+            Error::SchemaMismatch {
+                expected: 1,
+                found: 2
+            }
+        );
     }
 
     #[test]

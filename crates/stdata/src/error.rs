@@ -24,7 +24,10 @@ impl fmt::Display for Error {
         match self {
             Error::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
             Error::SchemaMismatch { expected, found } => {
-                write!(f, "schema mismatch: expected {expected} attributes, found {found}")
+                write!(
+                    f,
+                    "schema mismatch: expected {expected} attributes, found {found}"
+                )
             }
             Error::IncompatibleResolution { from, to } => {
                 write!(f, "cannot convert resolution {from} to {to}")

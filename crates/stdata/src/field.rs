@@ -60,7 +60,12 @@ mod nan_vec {
 
 impl ScalarField {
     /// Creates a field with every value undefined.
-    pub fn undefined(resolution: Resolution, n_regions: usize, start_bucket: i64, n_steps: usize) -> Self {
+    pub fn undefined(
+        resolution: Resolution,
+        n_regions: usize,
+        start_bucket: i64,
+        n_steps: usize,
+    ) -> Self {
         Self {
             resolution,
             n_regions,

@@ -278,7 +278,12 @@ impl LocatorGrid {
                 }
             }
         }
-        Self { bbox, nx, ny, cells }
+        Self {
+            bbox,
+            nx,
+            ny,
+            cells,
+        }
     }
 
     fn candidates(&self, p: GeoPoint) -> &[u32] {

@@ -383,7 +383,10 @@ mod tests {
             SeasonalInterval::Monthly.interval_of(ts),
             (2012 - 1970) * 12 + 4
         );
-        assert_eq!(SeasonalInterval::Quarterly.interval_of(ts), (2012 - 1970) * 4 + 1);
+        assert_eq!(
+            SeasonalInterval::Quarterly.interval_of(ts),
+            (2012 - 1970) * 4 + 1
+        );
         assert_eq!(SeasonalInterval::Yearly.interval_of(ts), 42);
         assert_eq!(
             SeasonalInterval::for_resolution(TemporalResolution::Hour),

@@ -171,9 +171,18 @@ mod tests {
     fn salient_features_cover_spikes() {
         let (g, f) = spiky();
         let fs = feature_sets(&g, &f);
-        assert!(fs.salient.pos.get(30), "peak at 30 must be a positive feature");
-        assert!(fs.salient.pos.get(80), "peak at 80 must be a positive feature");
-        assert!(fs.salient.neg.get(60), "valley at 60 must be a negative feature");
+        assert!(
+            fs.salient.pos.get(30),
+            "peak at 30 must be a positive feature"
+        );
+        assert!(
+            fs.salient.pos.get(80),
+            "peak at 80 must be a positive feature"
+        );
+        assert!(
+            fs.salient.neg.get(60),
+            "valley at 60 must be a negative feature"
+        );
         // The flat ripple must not be salient.
         assert!(!fs.salient.pos.get(0));
         assert!(!fs.salient.neg.get(1));

@@ -70,9 +70,9 @@ pub fn temporal_derivative(graph: &DomainGraph, f: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::FeatureSets;
     use crate::merge_tree::MergeTree;
     use crate::threshold::seasonal_thresholds;
-    use crate::features::FeatureSets;
 
     #[test]
     fn magnitude_on_a_step_function() {

@@ -146,12 +146,11 @@ mod tests {
         let tree = MergeTree::join(&g, &f);
         for theta in [-1.0, 0.0, 0.9, 2.0, 3.5, 4.5, 5.5, 6.0, 7.0] {
             let got = super_level_set(&g, &f, &tree, theta);
-            for v in 0..f.len() {
+            for (v, &fv) in f.iter().enumerate() {
                 assert_eq!(
                     got.get(v),
-                    f[v] >= theta,
-                    "theta={theta} vertex={v} value={}",
-                    f[v]
+                    fv >= theta,
+                    "theta={theta} vertex={v} value={fv}"
                 );
             }
         }
@@ -163,8 +162,8 @@ mod tests {
         let tree = MergeTree::split(&g, &f);
         for theta in [-1.0, 0.0, 0.6, 1.5, 3.0, 5.0, 6.5] {
             let got = sub_level_set(&g, &f, &tree, theta);
-            for v in 0..f.len() {
-                assert_eq!(got.get(v), f[v] <= theta, "theta={theta} vertex={v}");
+            for (v, &fv) in f.iter().enumerate() {
+                assert_eq!(got.get(v), fv <= theta, "theta={theta} vertex={v}");
             }
         }
     }
@@ -216,8 +215,8 @@ mod tests {
             .collect();
         let tree = MergeTree::join(&g, &f);
         let got = super_level_set(&g, &f, &tree, 8.0);
-        for v in 0..f.len() {
-            assert_eq!(got.get(v), f[v] >= 8.0, "vertex {v}");
+        for (v, &fv) in f.iter().enumerate() {
+            assert_eq!(got.get(v), fv >= 8.0, "vertex {v}");
         }
     }
 

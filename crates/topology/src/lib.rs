@@ -40,6 +40,6 @@ pub use gradient::{gradient_magnitude, temporal_derivative};
 pub use graph::DomainGraph;
 pub use level_set::{sub_level_set, super_level_set};
 pub use merge_tree::{Direction, MergeTree, TreeNode};
-pub use persistence::{PersistencePair, PersistenceDiagram};
+pub use persistence::{PersistenceDiagram, PersistencePair};
 pub use threshold::{compute_thresholds, seasonal_thresholds, SeasonalThresholds, Thresholds};
 pub use union_find::UnionFind;

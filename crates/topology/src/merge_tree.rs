@@ -104,7 +104,10 @@ impl MergeTree {
 
     /// Persistence values, aligned with [`MergeTree::pairs`].
     pub fn persistence_values(&self) -> Vec<f64> {
-        self.pairs.iter().map(PersistencePair::persistence).collect()
+        self.pairs
+            .iter()
+            .map(PersistencePair::persistence)
+            .collect()
     }
 
     fn compute(graph: &DomainGraph, f: &[f64], direction: Direction) -> Self {
@@ -113,7 +116,9 @@ impl MergeTree {
 
         // Sweep order with simulated-perturbation tie-breaking: descending
         // (value, index) for join trees, ascending for split trees.
-        let mut order: Vec<u32> = (0..nv as u32).filter(|&v| !f[v as usize].is_nan()).collect();
+        let mut order: Vec<u32> = (0..nv as u32)
+            .filter(|&v| !f[v as usize].is_nan())
+            .collect();
         match direction {
             Direction::Join => order.sort_unstable_by(|&a, &b| {
                 f[b as usize]
@@ -319,6 +324,7 @@ mod tests {
             .map(|n| n.vertex)
             .collect();
         assert_eq!(roots, vec![0]); // v1 = global minimum
+
         // Nodes: 4 leaves + 3 saddles + 1 root; arcs: 2 per saddle + 1 root arc.
         assert_eq!(t.node_count(), 8);
         assert_eq!(t.arc_count(), 7);
@@ -423,9 +429,10 @@ mod tests {
         // through the edges.
         assert_eq!(t.leaves.len(), 4);
         // The essential pair belongs to the global max 9.8.
-        let essential = t.pairs.iter().max_by(|a, b| {
-            a.persistence().partial_cmp(&b.persistence()).unwrap()
-        });
+        let essential = t
+            .pairs
+            .iter()
+            .max_by(|a, b| a.persistence().partial_cmp(&b.persistence()).unwrap());
         assert_eq!(essential.unwrap().extremum, 8);
         assert_eq!(essential.unwrap().partner, 4); // dies at centre 0.0
     }
@@ -434,13 +441,7 @@ mod tests {
     fn multiway_merge_is_handled() {
         // Star: centre vertex 0 adjacent to 4 spokes; all spokes higher
         // than centre -> 4 components merge at once at the centre.
-        let adj = vec![
-            vec![1, 2, 3, 4],
-            vec![0],
-            vec![0],
-            vec![0],
-            vec![0],
-        ];
+        let adj = vec![vec![1, 2, 3, 4], vec![0], vec![0], vec![0], vec![0]];
         let g = DomainGraph::new(&adj, 1);
         let f = vec![0.0, 4.0, 3.0, 2.0, 1.0];
         let t = MergeTree::join(&g, &f);

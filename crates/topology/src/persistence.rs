@@ -60,7 +60,10 @@ impl PersistenceDiagram {
 
     /// Persistence values — the scatter of paper Figure 5(b).
     pub fn persistences(&self) -> Vec<f64> {
-        self.pairs.iter().map(PersistencePair::persistence).collect()
+        self.pairs
+            .iter()
+            .map(PersistencePair::persistence)
+            .collect()
     }
 
     /// Maximum persistence in the diagram (0 when empty).
@@ -94,8 +97,18 @@ mod tests {
     #[test]
     fn diagram_accessors() {
         let d = PersistenceDiagram::new(vec![
-            PersistencePair { extremum: 0, partner: 1, birth: 4.0, death: 1.0 },
-            PersistencePair { extremum: 2, partner: 3, birth: 2.0, death: 1.5 },
+            PersistencePair {
+                extremum: 0,
+                partner: 1,
+                birth: 4.0,
+                death: 1.0,
+            },
+            PersistencePair {
+                extremum: 2,
+                partner: 3,
+                birth: 2.0,
+                death: 1.5,
+            },
         ]);
         assert_eq!(d.len(), 2);
         assert_eq!(d.points(), vec![(4.0, 1.0), (2.0, 1.5)]);

@@ -151,11 +151,9 @@ impl SeasonalThresholds {
     pub fn per_step(&self, pick: impl Fn(&Thresholds) -> f64) -> Vec<f64> {
         self.interval_of_step
             .iter()
-            .map(|id| {
-                match self.interval_ids.iter().position(|x| x == id) {
-                    Some(idx) => pick(&self.per_interval[idx]),
-                    None => f64::NAN,
-                }
+            .map(|id| match self.interval_ids.iter().position(|x| x == id) {
+                Some(idx) => pick(&self.per_interval[idx]),
+                None => f64::NAN,
             })
             .collect()
     }
@@ -321,7 +319,11 @@ mod tests {
         let pos = st.per_step(|t| t.salient_pos);
         // Season 0 threshold should be near 8; season 1 near 108.
         assert!(pos[0] > 1.0 && pos[0] <= 8.0, "season 0: {}", pos[0]);
-        assert!(pos[150] > 101.0 && pos[150] <= 108.0, "season 1: {}", pos[150]);
+        assert!(
+            pos[150] > 101.0 && pos[150] <= 108.0,
+            "season 1: {}",
+            pos[150]
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ fn main() {
         weather,
         &collection.geometry().city,
         TemporalResolution::Hour,
-        FunctionKind::Attribute { attr: wind_attr, agg: AggregateKind::Mean },
+        FunctionKind::Attribute {
+            attr: wind_attr,
+            agg: AggregateKind::Mean,
+        },
         None,
     )
     .expect("wind field");

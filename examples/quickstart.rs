@@ -22,8 +22,12 @@ fn make_dataset(name: &str, level: f64, spikes: &[i64]) -> Dataset {
         // A daily rhythm plus sharp spikes at the shared instants.
         let rhythm = ((h % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
         let spike = if spikes.contains(&h) { 25.0 } else { 0.0 };
-        b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[level + rhythm + spike])
-            .expect("schema matches");
+        b.push(
+            GeoPoint::new(0.5, 0.5),
+            h * 3_600,
+            &[level + rhythm + spike],
+        )
+        .expect("schema matches");
     }
     b.build().expect("dataset builds")
 }

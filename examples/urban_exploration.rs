@@ -52,8 +52,7 @@ fn main() {
             .or_default()
             .insert(r.left.dataset.as_str());
     }
-    let mut ranked: Vec<(&str, usize)> =
-        partners.iter().map(|(d, s)| (*d, s.len())).collect();
+    let mut ranked: Vec<(&str, usize)> = partners.iter().map(|(d, s)| (*d, s.len())).collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     println!("\nmost polygamous data sets (distinct partners):");
     for (dataset, n) in &ranked {

@@ -1,0 +1,31 @@
+//! Workspace facade for the Data Polygamy reproduction (SIGMOD 2016).
+//!
+//! This crate exists to own the workspace-level integration tests under
+//! `tests/` and the runnable walkthroughs under `examples/`; it re-exports
+//! every member crate so downstream code can depend on one package:
+//!
+//! * [`core`](polygamy_core) — the framework: pipeline, index,
+//!   relationship operator, significance testing;
+//! * [`stdata`](polygamy_stdata) — datasets, resolutions, spatial
+//!   partitions, scalar fields;
+//! * [`topology`](polygamy_topology) — merge trees, persistence, level
+//!   sets, feature sets;
+//! * [`stats`](polygamy_stats) — descriptive statistics, 2-means,
+//!   restricted Monte Carlo permutations, baselines;
+//! * [`mapreduce`](polygamy_mapreduce) — the in-process map-reduce
+//!   substrate;
+//! * [`datagen`](polygamy_datagen) — synthetic urban corpora with planted
+//!   ground-truth couplings.
+
+pub use polygamy_core as core;
+pub use polygamy_datagen as datagen;
+pub use polygamy_mapreduce as mapreduce;
+pub use polygamy_stats as stats;
+pub use polygamy_stdata as stdata;
+pub use polygamy_topology as topology;
+
+/// Everything a typical caller needs: the framework facade plus the data
+/// substrate types its API surfaces.
+pub mod prelude {
+    pub use polygamy_core::prelude::*;
+}

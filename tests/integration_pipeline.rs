@@ -29,8 +29,8 @@ fn correctness_year_over_year_taxi_density() {
     // (365 days; the paper aligns "starting at the same day and time").
     let (y1, d1) = &years[0];
     let (_y2, d2) = &years[1];
-    let shift = (polygamy_stdata::CivilDate::new(y1 + 1, 1, 1).timestamp()
-        - polygamy_stdata::CivilDate::new(*y1, 1, 1).timestamp()) as i64;
+    let shift = polygamy_stdata::CivilDate::new(y1 + 1, 1, 1).timestamp()
+        - polygamy_stdata::CivilDate::new(*y1, 1, 1).timestamp();
     let mut shifted = polygamy_stdata::DatasetBuilder::new(polygamy_stdata::DatasetMeta {
         name: "taxi-next-shifted".into(),
         ..d2.meta.clone()
@@ -56,9 +56,7 @@ fn correctness_year_over_year_taxi_density() {
     dp.add_dataset(d2_shifted);
     dp.build_index();
     let rels = dp
-        .query(
-            &RelationshipQuery::all().with_clause(Clause::default().permutations(150)),
-        )
+        .query(&RelationshipQuery::all().with_clause(Clause::default().permutations(150)))
         .unwrap();
     let densities = rels
         .iter()
@@ -120,8 +118,7 @@ fn mapreduce_density_matches_columnar_on_urban_data() {
         ),
     ] {
         let (field, _) = density_job(cluster, taxi, partition, temporal).unwrap();
-        let reference =
-            aggregate(taxi, partition, temporal, FunctionKind::Density, None).unwrap();
+        let reference = aggregate(taxi, partition, temporal, FunctionKind::Density, None).unwrap();
         assert_eq!(field, reference);
     }
 }

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 fn arb_function(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(
         prop_oneof![
-            8 => (-100.0..100.0f64),
+            8 => -100.0..100.0f64,
             1 => Just(f64::NAN),
         ],
         2..max_len,
@@ -33,8 +33,8 @@ proptest! {
         let g = DomainGraph::time_series(f.len());
         let tree = MergeTree::join(&g, &f);
         let got = super_level_set(&g, &f, &tree, theta);
-        for v in 0..f.len() {
-            prop_assert_eq!(got.get(v), !f[v].is_nan() && f[v] >= theta);
+        for (v, &fv) in f.iter().enumerate() {
+            prop_assert_eq!(got.get(v), !fv.is_nan() && fv >= theta);
         }
     }
 
@@ -47,8 +47,8 @@ proptest! {
         let g = DomainGraph::grid(4, 3, 2);
         let tree = MergeTree::split(&g, &values);
         let got = sub_level_set(&g, &values, &tree, theta);
-        for v in 0..values.len() {
-            prop_assert_eq!(got.get(v), values[v] <= theta);
+        for (v, &fv) in values.iter().enumerate() {
+            prop_assert_eq!(got.get(v), fv <= theta);
         }
     }
 

@@ -92,10 +92,7 @@ fn rain_raises_fares_significantly() {
     let dp = framework();
     // Paper: avg fare ~ precipitation, τ = 0.73, ρ = 0.7 (hour, city).
     let rels = dp
-        .query(
-            &RelationshipQuery::between(&["taxi"], &["weather"])
-                .with_clause(base_clause()),
-        )
+        .query(&RelationshipQuery::between(&["taxi"], &["weather"]).with_clause(base_clause()))
         .unwrap();
     let found = matching(&rels, "taxi.avg(fare)", "weather.avg(precipitation)")
         .any(|r| r.score() > 0.3 && r.significant);
@@ -120,8 +117,8 @@ fn hurricane_wind_extreme_features_relate_to_taxi_drop() {
             ),
         )
         .unwrap();
-    let found = matching(&rels, "taxi.density", "weather.avg(wind-speed)")
-        .any(|r| r.score() <= -0.9);
+    let found =
+        matching(&rels, "taxi.density", "weather.avg(wind-speed)").any(|r| r.score() <= -0.9);
     assert!(
         found,
         "expected extreme-class wind ~ density with τ ≈ −1; got:\n{}",
@@ -136,8 +133,7 @@ fn rain_worsens_collision_severity() {
     // τ=0.75; frequency (density) shows no significant relationship.
     let rels = dp
         .query(
-            &RelationshipQuery::between(&["collisions"], &["weather"])
-                .with_clause(base_clause()),
+            &RelationshipQuery::between(&["collisions"], &["weather"]).with_clause(base_clause()),
         )
         .unwrap();
     let severity = matching(
@@ -158,10 +154,7 @@ fn snow_stretches_bike_trips() {
     let dp = framework();
     // Paper: avg snow precipitation ~ avg bike trip duration, τ = 0.61.
     let rels = dp
-        .query(
-            &RelationshipQuery::between(&["citibike"], &["weather"])
-                .with_clause(base_clause()),
-        )
+        .query(&RelationshipQuery::between(&["citibike"], &["weather"]).with_clause(base_clause()))
         .unwrap();
     let found = matching(
         &rels,
@@ -182,10 +175,7 @@ fn snow_depth_idles_bike_stations() {
     // Paper: snow precipitation ~ active Citi Bike stations, τ = −0.88 at
     // (day, city) — our analogue is the unique station count.
     let rels = dp
-        .query(
-            &RelationshipQuery::between(&["citibike"], &["weather"])
-                .with_clause(base_clause()),
-        )
+        .query(&RelationshipQuery::between(&["citibike"], &["weather"]).with_clause(base_clause()))
         .unwrap();
     let found = matching(&rels, "citibike.unique", "weather.avg(snow-depth)")
         .any(|r| r.score() < -0.5 && r.significant);
@@ -203,8 +193,7 @@ fn taxi_volume_slows_traffic() {
     // (hour, city).
     let rels = dp
         .query(
-            &RelationshipQuery::between(&["taxi"], &["traffic-speed"])
-                .with_clause(base_clause()),
+            &RelationshipQuery::between(&["taxi"], &["traffic-speed"]).with_clause(base_clause()),
         )
         .unwrap();
     let found = matching(&rels, "taxi.density", "traffic-speed.avg(speed-kmh)")
@@ -228,8 +217,8 @@ fn collisions_relate_to_311_with_high_score() {
                 .with_clause(base_clause().include_insignificant()),
         )
         .unwrap();
-    let found = matching(&rels, "collisions.density", "complaints-311.density")
-        .any(|r| r.score() > 0.8);
+    let found =
+        matching(&rels, "collisions.density", "complaints-311.density").any(|r| r.score() > 0.8);
     assert!(
         found,
         "expected collisions ~ 311 with τ > 0.8; got:\n{}",
@@ -247,9 +236,7 @@ fn significance_prunes_candidates() {
         )
         .unwrap();
     let kept = dp
-        .query(
-            &RelationshipQuery::between(&["taxi"], &["twitter"]).with_clause(base_clause()),
-        )
+        .query(&RelationshipQuery::between(&["taxi"], &["twitter"]).with_clause(base_clause()))
         .unwrap();
     assert!(
         kept.len() < all.len(),
