@@ -2,22 +2,23 @@
 //!
 //! [`DataPolygamy`] owns the city geometry, the raw data sets, the built
 //! index and a query cache. Indexing runs the scalar-function and
-//! feature-identification jobs per data set; queries run the relationship
-//! operator over data set pairs with result caching.
+//! feature-identification jobs per data set — incrementally, so adding a
+//! data set to an indexed corpus only indexes the newcomer; queries run the
+//! relationship operator over data set pairs with result caching.
 
+use crate::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
 use crate::error::{Error, Result};
-use crate::index::{DatasetEntry, PolygamyIndex};
+use crate::index::{DatasetEntry, FunctionEntry, PolygamyIndex};
 use crate::operator::relation;
 use crate::pipeline::{compute_scalar_functions, identify_features};
 use crate::query::RelationshipQuery;
 use crate::relationship::Relationship;
 use crate::significance::PermutationScheme;
-use parking_lot::Mutex;
 use polygamy_mapreduce::Cluster;
 use polygamy_stats::permutation::MonteCarlo;
 use polygamy_stdata::{Dataset, SpatialPartition, SpatialResolution};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -118,21 +119,62 @@ pub struct DatasetBuildStats {
 /// Report returned by [`DataPolygamy::build_index`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct IndexBuildReport {
-    /// Per-data-set stats, in indexing order.
+    /// Stats for the data sets indexed by *this* call (previously indexed
+    /// data sets are reused, not re-run), in indexing order.
     pub per_dataset: Vec<DatasetBuildStats>,
     /// Total wall seconds.
     pub total_secs: f64,
 }
 
-/// Query-result cache keyed by (dataset pair, clause fingerprint).
-type QueryCache = Mutex<HashMap<(usize, usize, u64), Arc<Vec<Relationship>>>>;
+/// Runs the two indexing jobs for a single data set, producing its catalog
+/// entry, its function segments and the timing stats. This is the unit of
+/// incremental maintenance: [`DataPolygamy::build_index`] calls it once per
+/// *new* data set, and `polygamy-store`'s upsert calls it for the one data
+/// set being replaced, leaving the rest of the corpus untouched.
+pub fn index_dataset(
+    config: &Config,
+    geometry: &CityGeometry,
+    dataset_index: usize,
+    dataset: &Dataset,
+) -> (DatasetEntry, Vec<FunctionEntry>, DatasetBuildStats) {
+    let t0 = Instant::now();
+    let fields = compute_scalar_functions(config.cluster, geometry, dataset);
+    let scalar_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let entries = identify_features(
+        config.cluster,
+        geometry,
+        dataset_index,
+        fields,
+        config.keep_fields,
+    );
+    let feature_secs = t1.elapsed().as_secs_f64();
+    let stats = DatasetBuildStats {
+        name: dataset.meta.name.clone(),
+        scalar_secs,
+        feature_secs,
+        n_functions: entries.len(),
+    };
+    let catalog = DatasetEntry {
+        meta: dataset.meta.clone(),
+        n_records: dataset.len(),
+        raw_bytes: dataset.approx_bytes(),
+        n_specs: crate::function::FunctionSpec::enumerate(dataset).len(),
+    };
+    (catalog, entries, stats)
+}
 
 /// The framework facade.
 pub struct DataPolygamy {
     geometry: CityGeometry,
     config: Config,
     datasets: Vec<Dataset>,
-    index: Option<PolygamyIndex>,
+    /// The (possibly partial) index; `datasets[..indexed]` are covered.
+    index: PolygamyIndex,
+    /// How many of `datasets` have been indexed so far.
+    indexed: usize,
+    /// Whether `build_index` has run at least once.
+    built: bool,
     cache: QueryCache,
 }
 
@@ -143,17 +185,44 @@ impl DataPolygamy {
             geometry,
             config,
             datasets: Vec::new(),
-            index: None,
-            cache: Mutex::new(HashMap::new()),
+            index: PolygamyIndex::default(),
+            indexed: 0,
+            built: false,
+            cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
         }
     }
 
-    /// Registers a data set (invalidates any built index).
+    /// Registers a data set. The index becomes stale until the next
+    /// [`DataPolygamy::build_index`], which indexes only the newcomers;
+    /// entries already built are reused as-is.
     pub fn add_dataset(&mut self, dataset: Dataset) -> &mut Self {
         self.datasets.push(dataset);
-        self.index = None;
-        self.cache.lock().clear();
         self
+    }
+
+    /// Unregisters a data set and drops its index entries without touching
+    /// the rest of the corpus. Returns the removed raw data set.
+    pub fn remove_dataset(&mut self, name: &str) -> Result<Dataset> {
+        let pos = self
+            .datasets
+            .iter()
+            .position(|d| d.meta.name == name)
+            .ok_or_else(|| Error::UnknownDataset(name.to_string()))?;
+        let removed = self.datasets.remove(pos);
+        if pos < self.indexed {
+            self.index.datasets.remove(pos);
+            self.index.functions.retain(|f| f.dataset_index != pos);
+            for f in &mut self.index.functions {
+                if f.dataset_index > pos {
+                    f.dataset_index -= 1;
+                }
+            }
+            self.indexed -= 1;
+            // Cached results are keyed by dataset position; removal shifts
+            // positions, so everything cached is suspect.
+            self.cache.clear();
+        }
+        Ok(removed)
     }
 
     /// Names of registered data sets, in insertion order.
@@ -176,48 +245,34 @@ impl DataPolygamy {
         &self.config
     }
 
-    /// Runs the two indexing jobs over every registered data set.
+    /// Runs the two indexing jobs over every data set not yet indexed,
+    /// appending their entries to the existing index (incremental
+    /// maintenance: data sets indexed by a previous call are not re-run).
     pub fn build_index(&mut self) -> IndexBuildReport {
         let total_start = Instant::now();
-        let mut index = PolygamyIndex::default();
         let mut report = IndexBuildReport::default();
-        for (di, dataset) in self.datasets.iter().enumerate() {
-            let t0 = Instant::now();
-            let fields = compute_scalar_functions(self.config.cluster, &self.geometry, dataset);
-            let scalar_secs = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let entries = identify_features(
-                self.config.cluster,
-                &self.geometry,
-                di,
-                fields,
-                self.config.keep_fields,
-            );
-            let feature_secs = t1.elapsed().as_secs_f64();
-            let n_specs = crate::function::FunctionSpec::enumerate(dataset).len();
-            report.per_dataset.push(DatasetBuildStats {
-                name: dataset.meta.name.clone(),
-                scalar_secs,
-                feature_secs,
-                n_functions: entries.len(),
-            });
-            index.datasets.push(DatasetEntry {
-                meta: dataset.meta.clone(),
-                n_records: dataset.len(),
-                raw_bytes: dataset.approx_bytes(),
-                n_specs,
-            });
-            index.functions.extend(entries);
+        for di in self.indexed..self.datasets.len() {
+            let (catalog, entries, stats) =
+                index_dataset(&self.config, &self.geometry, di, &self.datasets[di]);
+            report.per_dataset.push(stats);
+            self.index.datasets.push(catalog);
+            self.index.functions.extend(entries);
         }
+        self.indexed = self.datasets.len();
+        self.built = true;
         report.total_secs = total_start.elapsed().as_secs_f64();
-        self.index = Some(index);
-        self.cache.lock().clear();
         report
     }
 
-    /// The built index.
+    /// The built index, or [`Error::IndexNotBuilt`] until the first
+    /// [`DataPolygamy::build_index`] call or while any registered data set
+    /// is still unindexed.
     pub fn index(&self) -> Result<&PolygamyIndex> {
-        self.index.as_ref().ok_or(Error::IndexNotBuilt)
+        if self.built && self.indexed == self.datasets.len() {
+            Ok(&self.index)
+        } else {
+            Err(Error::IndexNotBuilt)
+        }
     }
 
     /// `relation(D1, D2)` with the default clause.
@@ -230,71 +285,93 @@ impl DataPolygamy {
     /// Pairs are deduplicated (the operator is symmetric up to swapping
     /// left/right); per-pair results are cached keyed by the clause.
     pub fn query(&self, query: &RelationshipQuery) -> Result<Vec<Relationship>> {
-        let index = self.index()?;
-        let resolve = |names: &Option<Vec<String>>| -> Result<Vec<usize>> {
-            match names {
-                None => Ok((0..index.datasets.len()).collect()),
-                Some(list) => list.iter().map(|n| index.dataset_index(n)).collect(),
-            }
-        };
-        let left = resolve(&query.left)?;
-        let right = resolve(&query.right)?;
-        let clause_key = query.clause.cache_key();
-
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
-        for &a in &left {
-            for &b in &right {
-                if a == b {
-                    continue;
-                }
-                // Canonicalise so (a, b) and (b, a) share cache entries;
-                // results are reported with the canonical orientation.
-                let pair = (a.min(b), a.max(b));
-                if !pairs.contains(&pair) {
-                    pairs.push(pair);
-                }
-            }
-        }
-
-        let mut out = Vec::new();
-        for (a, b) in pairs {
-            let key = (a, b, clause_key);
-            let cached = self.cache.lock().get(&key).cloned();
-            let rels = match cached {
-                Some(r) => r,
-                None => {
-                    let r = Arc::new(relation(
-                        index,
-                        &self.geometry,
-                        &self.config,
-                        a,
-                        b,
-                        &query.clause,
-                    ));
-                    self.cache.lock().insert(key, Arc::clone(&r));
-                    r
-                }
-            };
-            out.extend(rels.iter().cloned());
-        }
-        // Deterministic presentation: strongest scores first, ties by name.
-        out.sort_by(|x, y| {
-            y.score()
-                .abs()
-                .partial_cmp(&x.score().abs())
-                .expect("scores are finite")
-                .then_with(|| x.left.to_string().cmp(&y.left.to_string()))
-                .then_with(|| x.right.to_string().cmp(&y.right.to_string()))
-                .then_with(|| x.resolution.label().cmp(&y.resolution.label()))
-                .then_with(|| x.class.label().cmp(y.class.label()))
-        });
-        Ok(out)
+        run_query(
+            self.index()?,
+            &self.geometry,
+            &self.config,
+            &self.cache,
+            query,
+        )
     }
 
     /// Number of cached per-pair results (diagnostics/tests).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
     }
+}
+
+/// Evaluates a relationship query against an index — the read path shared
+/// by [`DataPolygamy::query`] and `polygamy-store`'s serving sessions.
+///
+/// Pairs are deduplicated (the operator is symmetric up to swapping
+/// left/right); per-pair results are served from `cache` keyed by the
+/// clause fingerprint, evaluated via [`relation`] on a miss.
+pub fn run_query(
+    index: &PolygamyIndex,
+    geometry: &CityGeometry,
+    config: &Config,
+    cache: &QueryCache,
+    query: &RelationshipQuery,
+) -> Result<Vec<Relationship>> {
+    let resolve = |names: &Option<Vec<String>>| -> Result<Vec<usize>> {
+        match names {
+            None => Ok((0..index.datasets.len()).collect()),
+            Some(list) => list.iter().map(|n| index.dataset_index(n)).collect(),
+        }
+    };
+    let left = resolve(&query.left)?;
+    let right = resolve(&query.right)?;
+    let clause_key = query.clause.cache_key();
+
+    // All-pairs queries produce exactly n·(n−1)/2 canonical pairs; explicit
+    // collections at most |left|·|right|.
+    let cap = if query.left.is_none() && query.right.is_none() {
+        let n = left.len();
+        n * n.saturating_sub(1) / 2
+    } else {
+        left.len() * right.len()
+    };
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(cap);
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(cap);
+    for &a in &left {
+        for &b in &right {
+            if a == b {
+                continue;
+            }
+            // Canonicalise so (a, b) and (b, a) share cache entries;
+            // results are reported with the canonical orientation.
+            let pair = (a.min(b), a.max(b));
+            if seen.insert(pair) {
+                pairs.push(pair);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (a, b) in pairs {
+        let key = (a, b, clause_key);
+        let rels = match cache.get(&key) {
+            Some(r) => r,
+            None => {
+                let r = Arc::new(relation(index, geometry, config, a, b, &query.clause));
+                cache.insert(key, Arc::clone(&r));
+                r
+            }
+        };
+        out.extend(rels.iter().cloned());
+    }
+    // Deterministic presentation: strongest scores first, ties by name.
+    out.sort_by(|x, y| {
+        y.score()
+            .abs()
+            .partial_cmp(&x.score().abs())
+            .expect("scores are finite")
+            .then_with(|| x.left.to_string().cmp(&y.left.to_string()))
+            .then_with(|| x.right.to_string().cmp(&y.right.to_string()))
+            .then_with(|| x.resolution.label().cmp(&y.resolution.label()))
+            .then_with(|| x.class.label().cmp(y.class.label()))
+    });
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -386,6 +463,89 @@ mod tests {
         dp.query(&RelationshipQuery::between(&["b"], &["a"]).with_clause(c))
             .unwrap();
         assert_eq!(dp.cache_len(), 1);
+    }
+
+    #[test]
+    fn incremental_build_indexes_only_newcomers() {
+        let mut dp = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            Config::fast_test(),
+        );
+        dp.add_dataset(tiny_dataset("a", 100));
+        dp.add_dataset(tiny_dataset("b", 100));
+        let first = dp.build_index();
+        assert_eq!(first.per_dataset.len(), 2);
+        let n_before = dp.index().unwrap().functions.len();
+
+        dp.add_dataset(tiny_dataset("c", 50));
+        assert!(dp.index().is_err(), "stale until rebuilt");
+        let second = dp.build_index();
+        // Only the newcomer was indexed by the second call.
+        assert_eq!(second.per_dataset.len(), 1);
+        assert_eq!(second.per_dataset[0].name, "c");
+        let index = dp.index().unwrap();
+        assert_eq!(index.datasets.len(), 3);
+        assert!(index.functions.len() > n_before);
+        // The incremental index answers queries over old and new data sets.
+        let q = RelationshipQuery::between(&["a"], &["c"])
+            .with_clause(Clause::default().permutations(40).include_insignificant());
+        dp.query(&q).unwrap();
+    }
+
+    #[test]
+    fn incremental_matches_batch_rebuild() {
+        let geometry = CityGeometry::city_only(0.0, 0.0, 1.0, 1.0);
+        let mut inc = DataPolygamy::new(geometry.clone(), Config::fast_test());
+        inc.add_dataset(tiny_dataset("a", 100));
+        inc.add_dataset(tiny_dataset("b", 200));
+        inc.build_index();
+        inc.add_dataset(tiny_dataset("c", 50));
+        inc.build_index();
+
+        let mut batch = DataPolygamy::new(geometry, Config::fast_test());
+        batch.add_dataset(tiny_dataset("a", 100));
+        batch.add_dataset(tiny_dataset("b", 200));
+        batch.add_dataset(tiny_dataset("c", 50));
+        batch.build_index();
+
+        // NaN thresholds make struct equality vacuous; compare JSON forms.
+        assert_eq!(
+            inc.index().unwrap().to_json().unwrap(),
+            batch.index().unwrap().to_json().unwrap()
+        );
+    }
+
+    #[test]
+    fn remove_dataset_drops_entries_and_shifts_indices() {
+        let mut dp = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            Config::fast_test(),
+        );
+        dp.add_dataset(tiny_dataset("a", 100));
+        dp.add_dataset(tiny_dataset("b", 100));
+        dp.add_dataset(tiny_dataset("c", 50));
+        dp.build_index();
+        let removed = dp.remove_dataset("b").unwrap();
+        assert_eq!(removed.meta.name, "b");
+        assert!(dp.remove_dataset("b").is_err());
+        let index = dp.index().unwrap();
+        assert_eq!(dp.dataset_names(), vec!["a", "c"]);
+        assert_eq!(index.datasets.len(), 2);
+        // Every function entry points at a live catalog slot.
+        assert!(index.functions.iter().all(|f| f.dataset_index < 2));
+        assert!(index.functions_of(1).count() > 0, "c's entries survived");
+        // And the result matches a from-scratch build over {a, c}.
+        let mut scratch = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            Config::fast_test(),
+        );
+        scratch.add_dataset(tiny_dataset("a", 100));
+        scratch.add_dataset(tiny_dataset("c", 50));
+        scratch.build_index();
+        assert_eq!(
+            index.to_json().unwrap(),
+            scratch.index().unwrap().to_json().unwrap()
+        );
     }
 
     #[test]

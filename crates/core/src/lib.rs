@@ -32,6 +32,7 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod framework;
 pub mod function;
@@ -42,8 +43,9 @@ pub mod query;
 pub mod relationship;
 pub mod significance;
 
+pub use cache::{Fnv1a, QueryCache, ShardedLruCache};
 pub use error::{Error, Result};
-pub use framework::{CityGeometry, Config, DataPolygamy};
+pub use framework::{index_dataset, run_query, CityGeometry, Config, DataPolygamy};
 pub use function::{FunctionRef, FunctionSpec};
 pub use index::{DatasetEntry, FunctionEntry, IndexStats, PolygamyIndex};
 pub use operator::relation;

@@ -6,12 +6,11 @@
 //! strength, feature class, resolution, significance level, or supplies
 //! user-defined feature thresholds.
 
+use crate::cache::Fnv1a;
 use crate::significance::PermutationScheme;
 use polygamy_stdata::Resolution;
 use polygamy_topology::FeatureClass;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 
 /// User-supplied feature thresholds for one data set (clause option,
 /// paper Section 5.3: "feature thresholds … can be optionally specified …
@@ -137,26 +136,47 @@ impl Clause {
         self.class.is_none_or(|c| c == class)
     }
 
-    /// Stable hash for result caching.
+    /// Stable fingerprint for result caching.
+    ///
+    /// Cache keys are persisted on disk by `polygamy-store` sessions, so
+    /// the hash is an explicit 64-bit FNV-1a over a fully specified byte
+    /// stream (little-endian fields, length-prefixed strings, presence
+    /// tags) — identical across processes, platforms and releases, unlike
+    /// `std`'s `DefaultHasher`.
     pub fn cache_key(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.min_score.to_bits().hash(&mut h);
-        self.min_strength.to_bits().hash(&mut h);
-        self.class.map(|c| c.label()).hash(&mut h);
-        self.alpha.to_bits().hash(&mut h);
-        self.permutations.hash(&mut h);
-        self.significant_only.hash(&mut h);
-        if let Some(rs) = &self.resolutions {
-            for r in rs {
-                r.label().hash(&mut h);
+        let mut h = Fnv1a::new();
+        h.write_f64(self.min_score);
+        h.write_f64(self.min_strength);
+        match self.class {
+            None => h.write_u8(0),
+            Some(FeatureClass::Salient) => h.write_u8(1),
+            Some(FeatureClass::Extreme) => h.write_u8(2),
+        }
+        h.write_f64(self.alpha);
+        h.write_usize(self.permutations);
+        h.write_u8(u8::from(self.significant_only));
+        match &self.resolutions {
+            None => h.write_u8(0),
+            Some(rs) => {
+                h.write_u8(1);
+                h.write_usize(rs.len());
+                for r in rs {
+                    h.write_u8(r.spatial.code());
+                    h.write_u8(r.temporal.code());
+                }
             }
         }
+        h.write_usize(self.thresholds.len());
         for t in &self.thresholds {
-            t.dataset.hash(&mut h);
-            t.theta_pos.to_bits().hash(&mut h);
-            t.theta_neg.to_bits().hash(&mut h);
+            h.write_str(&t.dataset);
+            h.write_f64(t.theta_pos);
+            h.write_f64(t.theta_neg);
         }
-        format!("{:?}", self.scheme).hash(&mut h);
+        match self.scheme {
+            None => h.write_u8(0),
+            Some(PermutationScheme::Paper) => h.write_u8(1),
+            Some(PermutationScheme::SpatioTemporal) => h.write_u8(2),
+        }
         h.finish()
     }
 }
@@ -236,6 +256,14 @@ mod tests {
         let cc = Clause::default().class(FeatureClass::Salient);
         assert!(cc.admits_class(FeatureClass::Salient));
         assert!(!cc.admits_class(FeatureClass::Extreme));
+    }
+
+    #[test]
+    fn cache_key_is_pinned() {
+        // Cache keys persist on disk, so the default clause's fingerprint is
+        // pinned: if this assertion fires, the key derivation changed and
+        // the store format version must be bumped.
+        assert_eq!(Clause::default().cache_key(), 0x8b94_2d1d_da12_4ede);
     }
 
     #[test]

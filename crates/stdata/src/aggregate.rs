@@ -48,6 +48,31 @@ impl AggregateKind {
             AggregateKind::Median => "median",
         }
     }
+
+    /// Stable one-byte wire code for on-disk persistence. Codes are part of
+    /// the store format and must never be renumbered; add new variants with
+    /// fresh codes instead.
+    pub fn code(self) -> u8 {
+        match self {
+            AggregateKind::Mean => 0,
+            AggregateKind::Sum => 1,
+            AggregateKind::Min => 2,
+            AggregateKind::Max => 3,
+            AggregateKind::Median => 4,
+        }
+    }
+
+    /// Inverse of [`AggregateKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(AggregateKind::Mean),
+            1 => Some(AggregateKind::Sum),
+            2 => Some(AggregateKind::Min),
+            3 => Some(AggregateKind::Max),
+            4 => Some(AggregateKind::Median),
+            _ => None,
+        }
+    }
 }
 
 /// Which scalar function to derive from a data set.
@@ -408,6 +433,20 @@ mod tests {
     use super::*;
     use crate::dataset::{AttributeMeta, DatasetBuilder, DatasetMeta};
     use crate::spatial::{GeoPoint, Polygon, SpatialResolution};
+
+    #[test]
+    fn aggregate_wire_codes_roundtrip() {
+        for a in [
+            AggregateKind::Mean,
+            AggregateKind::Sum,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Median,
+        ] {
+            assert_eq!(AggregateKind::from_code(a.code()), Some(a));
+        }
+        assert_eq!(AggregateKind::from_code(200), None);
+    }
 
     fn partition() -> SpatialPartition {
         SpatialPartition::new(

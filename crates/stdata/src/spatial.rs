@@ -55,6 +55,29 @@ impl SpatialResolution {
             SpatialResolution::City => "city",
         }
     }
+
+    /// Stable one-byte wire code for on-disk persistence. Codes are part of
+    /// the store format and must never be renumbered; add new variants with
+    /// fresh codes instead.
+    pub fn code(self) -> u8 {
+        match self {
+            SpatialResolution::Gps => 0,
+            SpatialResolution::Zip => 1,
+            SpatialResolution::Neighborhood => 2,
+            SpatialResolution::City => 3,
+        }
+    }
+
+    /// Inverse of [`SpatialResolution::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(SpatialResolution::Gps),
+            1 => Some(SpatialResolution::Zip),
+            2 => Some(SpatialResolution::Neighborhood),
+            3 => Some(SpatialResolution::City),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SpatialResolution {
@@ -392,6 +415,19 @@ impl SpatialPartition {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_codes_roundtrip() {
+        for s in [
+            SpatialResolution::Gps,
+            SpatialResolution::Zip,
+            SpatialResolution::Neighborhood,
+            SpatialResolution::City,
+        ] {
+            assert_eq!(SpatialResolution::from_code(s.code()), Some(s));
+        }
+        assert_eq!(SpatialResolution::from_code(200), None);
+    }
 
     #[test]
     fn rect_contains() {

@@ -192,6 +192,29 @@ impl TemporalResolution {
         (self.bucket_of(end - 1) - self.bucket_of(start) + 1) as usize
     }
 
+    /// Stable one-byte wire code for on-disk persistence. Codes are part of
+    /// the store format and must never be renumbered; add new variants with
+    /// fresh codes instead.
+    pub fn code(self) -> u8 {
+        match self {
+            TemporalResolution::Hour => 0,
+            TemporalResolution::Day => 1,
+            TemporalResolution::Week => 2,
+            TemporalResolution::Month => 3,
+        }
+    }
+
+    /// Inverse of [`TemporalResolution::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(TemporalResolution::Hour),
+            1 => Some(TemporalResolution::Day),
+            2 => Some(TemporalResolution::Week),
+            3 => Some(TemporalResolution::Month),
+            _ => None,
+        }
+    }
+
     /// A short lowercase label matching the paper's notation.
     pub fn label(self) -> &'static str {
         match self {
@@ -275,6 +298,14 @@ impl SeasonalInterval {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_codes_roundtrip() {
+        for t in TemporalResolution::ALL {
+            assert_eq!(TemporalResolution::from_code(t.code()), Some(t));
+        }
+        assert_eq!(TemporalResolution::from_code(200), None);
+    }
 
     #[test]
     fn epoch_roundtrip() {

@@ -1,0 +1,182 @@
+//! The `polygamy-store` command line: build, inspect and query store
+//! files.
+//!
+//! ```text
+//! polygamy-store build <path> [--quick] [--years N] [--scale S] [--no-fields]
+//! polygamy-store inspect <path>
+//! polygamy-store query <path> <left> <right> [--permutations N]
+//!                [--min-score X] [--include-insignificant]
+//! ```
+//!
+//! `--no-fields` drops the raw scalar fields from the index (features and
+//! thresholds only): stores shrink ~16×, and every clause except
+//! user-defined thresholds still evaluates.
+//!
+//! `build` indexes the synthetic urban corpus from `polygamy_datagen` and
+//! writes it as a store; `inspect` prints the header, catalog and segment
+//! directory without decoding any segment; `query` opens a serving session
+//! and evaluates one relationship query.
+
+use polygamy_core::prelude::*;
+use polygamy_core::DataPolygamy;
+use polygamy_datagen::{urban_collection, UrbanConfig};
+use polygamy_store::{Store, StoreSession};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: polygamy-store <build|inspect|query> <path> [args]\n\
+                 \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields]\n\
+                 \x20 inspect <path>\n\
+                 \x20 query <path> <left> <right> [--permutations N] \
+                 [--min-score X] [--include-insignificant]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("polygamy-store: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("build: missing <path>")?;
+    let quick = args.iter().any(|a| a == "--quick");
+    let years: usize = match flag_value(args, "--years") {
+        Some(v) => v.parse().map_err(|_| "build: --years expects an integer")?,
+        None => {
+            if quick {
+                1
+            } else {
+                2
+            }
+        }
+    };
+    let scale: f64 = match flag_value(args, "--scale") {
+        Some(v) => v.parse().map_err(|_| "build: --scale expects a number")?,
+        None => {
+            if quick {
+                0.02
+            } else {
+                0.2
+            }
+        }
+    };
+    let collection = urban_collection(UrbanConfig {
+        n_years: years,
+        scale,
+        extra_weather_attrs: if quick { 0 } else { 8 },
+        ..UrbanConfig::default()
+    });
+    let mut config = if quick {
+        Config::fast_test()
+    } else {
+        Config::default()
+    };
+    if args.iter().any(|a| a == "--no-fields") {
+        config.keep_fields = false;
+    }
+    let mut dp = DataPolygamy::new(collection.geometry().clone(), config);
+    for d in &collection.datasets {
+        dp.add_dataset(d.clone());
+    }
+    let report = dp.build_index();
+    println!(
+        "indexed {} data sets in {:.2}s",
+        report.per_dataset.len(),
+        report.total_secs
+    );
+    let index = dp.index().map_err(|e| e.to_string())?;
+    let store = Store::save(path, dp.geometry(), index).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {path}: {} bytes, {} segments",
+        store.file_bytes().map_err(|e| e.to_string())?,
+        store.manifest().segments.len()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect: missing <path>")?;
+    let store = Store::open(path).map_err(|e| e.to_string())?;
+    let header = store.header();
+    let manifest = store.manifest();
+    println!(
+        "store {path}: format v{}, {} bytes on disk",
+        header.version,
+        store.file_bytes().map_err(|e| e.to_string())?
+    );
+    println!(
+        "manifest: offset {} len {} fnv {:#018x}",
+        header.manifest_offset, header.manifest_len, header.manifest_checksum
+    );
+    println!("catalog ({} data sets):", manifest.datasets.len());
+    for (di, d) in manifest.datasets.iter().enumerate() {
+        println!(
+            "  [{di}] {:<14} {:>9} records, {:>6} specs, {:>10} segment bytes",
+            d.meta.name,
+            d.n_records,
+            d.n_specs,
+            manifest.dataset_disk_bytes(di),
+        );
+    }
+    println!("segments ({}):", manifest.segments.len());
+    for s in &manifest.segments {
+        println!(
+            "  {:<14} {:<14} {:<22} offset {:>10} len {:>9} fnv {:#018x}",
+            manifest.datasets[s.dataset_index].meta.name,
+            s.function,
+            s.resolution.label(),
+            s.loc.offset,
+            s.loc.len,
+            s.loc.checksum,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("query: missing <path>")?;
+    let left = args.get(1).ok_or("query: missing <left> data set")?;
+    let right = args.get(2).ok_or("query: missing <right> data set")?;
+    let mut clause = Clause::default();
+    if let Some(p) = flag_value(args, "--permutations") {
+        clause = clause.permutations(
+            p.parse()
+                .map_err(|_| "query: --permutations expects an integer")?,
+        );
+    }
+    if let Some(s) = flag_value(args, "--min-score") {
+        clause = clause.min_score(
+            s.parse()
+                .map_err(|_| "query: --min-score expects a number")?,
+        );
+    }
+    if args.iter().any(|a| a == "--include-insignificant") {
+        clause = clause.include_insignificant();
+    }
+    let session = StoreSession::open(path).map_err(|e| e.to_string())?;
+    let query = RelationshipQuery::between(&[left.as_str()], &[right.as_str()]).with_clause(clause);
+    let rels = session.query(&query).map_err(|e| e.to_string())?;
+    println!("{} relationship(s) between {left} and {right}:", rels.len());
+    for rel in &rels {
+        println!("  {rel}");
+    }
+    Ok(())
+}

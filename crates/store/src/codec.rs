@@ -1,0 +1,690 @@
+//! The explicit little-endian codec for on-disk structures.
+//!
+//! Every multi-byte integer is little-endian; floats are IEEE-754 bit
+//! patterns (NaN thresholds round-trip exactly); strings and sequences are
+//! length-prefixed. Enums travel as the stable one-byte wire codes exposed
+//! by `polygamy_stdata` — never as `#[derive]`d discriminants, which are an
+//! implementation detail of the Rust compiler.
+//!
+//! Decoding is total: any byte sequence either decodes to a valid structure
+//! or yields a typed [`StoreError`]. The decoder therefore checks every
+//! length against the remaining payload, validates enum codes, and verifies
+//! structural invariants (bit-vector word counts, field value counts) that
+//! a crafted or corrupted payload could violate even with a matching
+//! checksum.
+
+use crate::error::{Result, StoreError};
+use polygamy_core::index::FunctionEntry;
+use polygamy_core::FunctionSpec;
+use polygamy_stdata::{
+    AggregateKind, FunctionKind, Resolution, ScalarField, SpatialResolution, TemporalResolution,
+};
+use polygamy_topology::threshold::Thresholds;
+use polygamy_topology::{BitVec, FeatureSet, FeatureSets, SeasonalThresholds};
+
+/// An append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Starts an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its bit pattern (NaN-exact).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A bounds-checked little-endian decoder over one payload.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context string for error messages ("segment taxi.density" etc.).
+    what: &'a str,
+}
+
+impl<'a> Dec<'a> {
+    /// Starts decoding `buf`; `what` names the payload in errors.
+    pub fn new(buf: &'a [u8], what: &'a str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    fn corrupt(&self, detail: &str) -> StoreError {
+        StoreError::Corrupt(format!("{}: {detail}", self.what))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.corrupt("payload overrun"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` narrowed to `usize`.
+    pub fn usize(&mut self) -> Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| self.corrupt("length exceeds usize"))
+    }
+
+    /// Reads a length that must still fit in the remaining payload when
+    /// each element occupies at least `elem_size` bytes — rejects absurd
+    /// lengths before any allocation.
+    pub fn seq_len(&mut self, elem_size: usize) -> Result<usize> {
+        let n = self.usize()?;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(elem_size.max(1))
+            .is_none_or(|b| b > remaining)
+        {
+            return Err(self.corrupt("sequence length exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.seq_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid utf-8 in string"))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Asserts full consumption — trailing garbage means corruption.
+    pub fn finish(self) -> Result<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.corrupt("trailing bytes after structure"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite structures
+// ---------------------------------------------------------------------------
+
+/// Encodes a resolution as two stable wire codes.
+pub fn enc_resolution(e: &mut Enc, r: Resolution) {
+    e.u8(r.spatial.code());
+    e.u8(r.temporal.code());
+}
+
+/// Decodes a resolution.
+pub fn dec_resolution(d: &mut Dec<'_>) -> Result<Resolution> {
+    let s = d.u8()?;
+    let t = d.u8()?;
+    let spatial = SpatialResolution::from_code(s)
+        .ok_or_else(|| StoreError::Corrupt(format!("unknown spatial resolution code {s}")))?;
+    let temporal = TemporalResolution::from_code(t)
+        .ok_or_else(|| StoreError::Corrupt(format!("unknown temporal resolution code {t}")))?;
+    Ok(Resolution::new(spatial, temporal))
+}
+
+fn enc_function_kind(e: &mut Enc, kind: FunctionKind) {
+    match kind {
+        FunctionKind::Density => e.u8(0),
+        FunctionKind::Unique => e.u8(1),
+        FunctionKind::Attribute { attr, agg } => {
+            e.u8(2);
+            e.usize(attr);
+            e.u8(agg.code());
+        }
+    }
+}
+
+fn dec_function_kind(d: &mut Dec<'_>) -> Result<FunctionKind> {
+    match d.u8()? {
+        0 => Ok(FunctionKind::Density),
+        1 => Ok(FunctionKind::Unique),
+        2 => {
+            let attr = d.usize()?;
+            let code = d.u8()?;
+            let agg = AggregateKind::from_code(code)
+                .ok_or_else(|| StoreError::Corrupt(format!("unknown aggregate code {code}")))?;
+            Ok(FunctionKind::Attribute { attr, agg })
+        }
+        t => Err(StoreError::Corrupt(format!(
+            "unknown function kind tag {t}"
+        ))),
+    }
+}
+
+/// Encodes a function spec.
+pub fn enc_spec(e: &mut Enc, spec: &FunctionSpec) {
+    e.str(&spec.dataset);
+    e.str(&spec.name);
+    enc_function_kind(e, spec.kind);
+}
+
+/// Decodes a function spec.
+pub fn dec_spec(d: &mut Dec<'_>) -> Result<FunctionSpec> {
+    Ok(FunctionSpec {
+        dataset: d.str()?,
+        name: d.str()?,
+        kind: dec_function_kind(d)?,
+    })
+}
+
+fn enc_bitvec(e: &mut Enc, bv: &BitVec) {
+    e.usize(bv.len());
+    for &w in bv.words() {
+        e.u64(w);
+    }
+}
+
+fn dec_bitvec(d: &mut Dec<'_>) -> Result<BitVec> {
+    let len = d.usize()?;
+    let n_words = len.div_ceil(64);
+    // Guard before allocating: each word is 8 payload bytes.
+    if n_words.checked_mul(8).is_none_or(|b| b > d.remaining()) {
+        return Err(StoreError::Corrupt(
+            "bit vector length exceeds payload".into(),
+        ));
+    }
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(d.u64()?);
+    }
+    BitVec::from_words(len, words)
+        .ok_or_else(|| StoreError::Corrupt("bit vector representation invariant violated".into()))
+}
+
+fn enc_feature_sets(e: &mut Enc, fs: &FeatureSets) {
+    for bv in [
+        &fs.salient.pos,
+        &fs.salient.neg,
+        &fs.extreme.pos,
+        &fs.extreme.neg,
+    ] {
+        enc_bitvec(e, bv);
+    }
+}
+
+fn dec_feature_sets(d: &mut Dec<'_>) -> Result<FeatureSets> {
+    Ok(FeatureSets {
+        salient: FeatureSet {
+            pos: dec_bitvec(d)?,
+            neg: dec_bitvec(d)?,
+        },
+        extreme: FeatureSet {
+            pos: dec_bitvec(d)?,
+            neg: dec_bitvec(d)?,
+        },
+    })
+}
+
+fn enc_thresholds(e: &mut Enc, t: &Thresholds) {
+    e.f64(t.salient_pos);
+    e.f64(t.salient_neg);
+    e.f64(t.extreme_pos);
+    e.f64(t.extreme_neg);
+}
+
+fn dec_thresholds(d: &mut Dec<'_>) -> Result<Thresholds> {
+    Ok(Thresholds {
+        salient_pos: d.f64()?,
+        salient_neg: d.f64()?,
+        extreme_pos: d.f64()?,
+        extreme_neg: d.f64()?,
+    })
+}
+
+fn enc_seasonal(e: &mut Enc, s: &SeasonalThresholds) {
+    e.usize(s.interval_of_step.len());
+    for &id in &s.interval_of_step {
+        e.i64(id);
+    }
+    e.usize(s.interval_ids.len());
+    for &id in &s.interval_ids {
+        e.i64(id);
+    }
+    e.usize(s.per_interval.len());
+    for t in &s.per_interval {
+        enc_thresholds(e, t);
+    }
+}
+
+fn dec_seasonal(d: &mut Dec<'_>) -> Result<SeasonalThresholds> {
+    let n = d.seq_len(8)?;
+    let mut interval_of_step = Vec::with_capacity(n);
+    for _ in 0..n {
+        interval_of_step.push(d.i64()?);
+    }
+    let n = d.seq_len(8)?;
+    let mut interval_ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        interval_ids.push(d.i64()?);
+    }
+    let n = d.seq_len(32)?;
+    let mut per_interval = Vec::with_capacity(n);
+    for _ in 0..n {
+        per_interval.push(dec_thresholds(d)?);
+    }
+    if interval_ids.len() != per_interval.len() {
+        return Err(StoreError::Corrupt(
+            "seasonal thresholds: interval ids and thresholds disagree".into(),
+        ));
+    }
+    Ok(SeasonalThresholds {
+        interval_of_step,
+        interval_ids,
+        per_interval,
+    })
+}
+
+fn enc_field(e: &mut Enc, field: &ScalarField) {
+    enc_resolution(e, field.resolution);
+    e.usize(field.n_regions);
+    e.i64(field.start_bucket);
+    e.usize(field.n_steps);
+    e.usize(field.values.len());
+    for &v in &field.values {
+        e.f64(v);
+    }
+}
+
+fn dec_field(d: &mut Dec<'_>) -> Result<ScalarField> {
+    let resolution = dec_resolution(d)?;
+    let n_regions = d.usize()?;
+    let start_bucket = d.i64()?;
+    let n_steps = d.usize()?;
+    let n = d.seq_len(8)?;
+    if n_regions.checked_mul(n_steps) != Some(n) {
+        return Err(StoreError::Corrupt(
+            "scalar field value count does not match its shape".into(),
+        ));
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(d.f64()?);
+    }
+    Ok(ScalarField {
+        resolution,
+        n_regions,
+        start_bucket,
+        n_steps,
+        values,
+    })
+}
+
+/// Encodes one function segment payload.
+///
+/// `dataset_index` is deliberately *not* part of the payload: it lives in
+/// the manifest's segment directory, so incremental upsert/remove can
+/// renumber data sets by rewriting only the manifest while copying segment
+/// bytes verbatim.
+pub fn encode_function_segment(entry: &FunctionEntry) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_spec(&mut e, &entry.spec);
+    enc_resolution(&mut e, entry.resolution);
+    e.usize(entry.n_regions);
+    e.i64(entry.start_bucket);
+    e.usize(entry.n_steps);
+    enc_feature_sets(&mut e, &entry.features);
+    enc_seasonal(&mut e, &entry.thresholds);
+    match &entry.field {
+        None => e.u8(0),
+        Some(f) => {
+            e.u8(1);
+            enc_field(&mut e, f);
+        }
+    }
+    e.usize(entry.tree_nodes);
+    e.into_bytes()
+}
+
+/// Decodes one function segment payload; `dataset_index` comes from the
+/// manifest's segment directory.
+pub fn decode_function_segment(
+    bytes: &[u8],
+    dataset_index: usize,
+    what: &str,
+) -> Result<FunctionEntry> {
+    let mut d = Dec::new(bytes, what);
+    let spec = dec_spec(&mut d)?;
+    let resolution = dec_resolution(&mut d)?;
+    let n_regions = d.usize()?;
+    let start_bucket = d.i64()?;
+    let n_steps = d.usize()?;
+    let features = dec_feature_sets(&mut d)?;
+    let thresholds = dec_seasonal(&mut d)?;
+    let field = match d.u8()? {
+        0 => None,
+        1 => Some(dec_field(&mut d)?),
+        t => {
+            return Err(StoreError::Corrupt(format!(
+                "{what}: unknown field presence tag {t}"
+            )))
+        }
+    };
+    let tree_nodes = d.usize()?;
+    d.finish()?;
+    let n_vertices = n_regions
+        .checked_mul(n_steps)
+        .ok_or_else(|| StoreError::Corrupt(format!("{what}: vertex count overflow")))?;
+    for (side, bv) in [
+        ("salient.pos", &features.salient.pos),
+        ("salient.neg", &features.salient.neg),
+        ("extreme.pos", &features.extreme.pos),
+        ("extreme.neg", &features.extreme.neg),
+    ] {
+        if bv.len() != n_vertices {
+            return Err(StoreError::Corrupt(format!(
+                "{what}: {side} covers {} vertices, expected {n_vertices}",
+                bv.len()
+            )));
+        }
+    }
+    if thresholds.interval_of_step.len() != n_steps {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: seasonal interval map covers {} steps, expected {n_steps}",
+            thresholds.interval_of_step.len()
+        )));
+    }
+    // The embedded field must share the entry's shape: a crafted payload
+    // with an internally consistent but smaller field would otherwise pass
+    // decoding and panic later in release-mode bit-vector slicing.
+    if let Some(f) = &field {
+        if f.resolution != resolution
+            || f.n_regions != n_regions
+            || f.start_bucket != start_bucket
+            || f.n_steps != n_steps
+        {
+            return Err(StoreError::Corrupt(format!(
+                "{what}: embedded scalar field shape disagrees with its entry"
+            )));
+        }
+    }
+    Ok(FunctionEntry {
+        spec,
+        dataset_index,
+        resolution,
+        n_regions,
+        start_bucket,
+        n_steps,
+        features,
+        thresholds,
+        field,
+        tree_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_entry(with_field: bool, n_regions: usize, n_steps: usize) -> FunctionEntry {
+        let n = n_regions * n_steps;
+        let mut salient = FeatureSet::empty(n);
+        let mut extreme = FeatureSet::empty(n);
+        for i in (0..n).step_by(3) {
+            salient.pos.set(i);
+        }
+        for i in (1..n).step_by(7) {
+            salient.neg.set(i);
+        }
+        if n > 2 {
+            extreme.pos.set(n - 1);
+            extreme.neg.set(2);
+        }
+        let field = with_field.then(|| ScalarField {
+            resolution: Resolution::new(SpatialResolution::City, TemporalResolution::Hour),
+            n_regions,
+            start_bucket: -5,
+            n_steps,
+            values: (0..n)
+                .map(|i| {
+                    if i % 11 == 0 {
+                        f64::NAN
+                    } else {
+                        i as f64 * 0.5
+                    }
+                })
+                .collect(),
+        });
+        FunctionEntry {
+            spec: FunctionSpec::attribute("taxi", 2, "fare", AggregateKind::Mean),
+            dataset_index: 4,
+            resolution: Resolution::new(SpatialResolution::City, TemporalResolution::Hour),
+            n_regions,
+            start_bucket: -5,
+            n_steps,
+            features: FeatureSets { salient, extreme },
+            thresholds: SeasonalThresholds {
+                interval_of_step: (0..n_steps).map(|z| (z / 24) as i64).collect(),
+                interval_ids: vec![0, 1],
+                per_interval: vec![
+                    Thresholds {
+                        salient_pos: 3.0,
+                        salient_neg: -1.0,
+                        extreme_pos: f64::NAN,
+                        extreme_neg: f64::NAN,
+                    },
+                    Thresholds::none(),
+                ],
+            },
+            field,
+            tree_nodes: 17,
+        }
+    }
+
+    /// Byte-level round trip: decode(encode(x)) re-encodes to the identical
+    /// bytes. (Struct equality is vacuous under NaN thresholds; byte
+    /// equality is exact and covers NaN via bit patterns.)
+    #[test]
+    fn segment_roundtrip_bytes() {
+        for (with_field, nr, ns) in [(true, 3, 50), (false, 1, 200), (true, 1, 1)] {
+            let entry = sample_entry(with_field, nr, ns);
+            let bytes = encode_function_segment(&entry);
+            let back = decode_function_segment(&bytes, entry.dataset_index, "test").unwrap();
+            assert_eq!(encode_function_segment(&back), bytes);
+            assert_eq!(back.dataset_index, entry.dataset_index);
+            assert_eq!(back.spec, entry.spec);
+            assert_eq!(back.features, entry.features);
+        }
+    }
+
+    #[test]
+    fn truncated_segment_is_corrupt_not_panic() {
+        let bytes = encode_function_segment(&sample_entry(true, 2, 30));
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_function_segment(&bytes[..cut], 0, "test").unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_field_shape_rejected() {
+        // A crafted payload whose embedded field is internally consistent
+        // but smaller than the entry must decode to Corrupt, not pass and
+        // panic later during slicing.
+        let mut entry = sample_entry(true, 2, 30);
+        let field = entry.field.as_mut().unwrap();
+        field.n_steps = 10;
+        field.values.truncate(2 * 10);
+        let bytes = encode_function_segment(&entry);
+        assert!(matches!(
+            decode_function_segment(&bytes, 0, "test"),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_function_segment(&sample_entry(false, 1, 10));
+        bytes.push(0);
+        assert!(matches!(
+            decode_function_segment(&bytes, 0, "test"),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_enum_codes_rejected() {
+        let mut e = Enc::new();
+        e.u8(250);
+        e.u8(0);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert!(matches!(
+            dec_resolution(&mut d),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_sequence_length_rejected_before_allocation() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 2); // claimed length far beyond the payload
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert!(matches!(d.seq_len(8), Err(StoreError::Corrupt(_))));
+    }
+
+    proptest! {
+        /// Primitive round trips across the codec's whole value space.
+        #[test]
+        fn primitives_roundtrip(
+            a in 0u64..u64::MAX,
+            b in i64::MIN..i64::MAX,
+            c in 0u32..u32::MAX,
+            d_ in 0u8..u8::MAX,
+            f_bits in 0u64..u64::MAX,
+        ) {
+            let f = f64::from_bits(f_bits);
+            let mut e = Enc::new();
+            e.u64(a);
+            e.i64(b);
+            e.u32(c);
+            e.u8(d_);
+            e.f64(f);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes, "prop");
+            prop_assert_eq!(d.u64().unwrap(), a);
+            prop_assert_eq!(d.i64().unwrap(), b);
+            prop_assert_eq!(d.u32().unwrap(), c);
+            prop_assert_eq!(d.u8().unwrap(), d_);
+            prop_assert_eq!(d.f64().unwrap().to_bits(), f.to_bits());
+            d.finish().unwrap();
+        }
+
+        /// Whole-segment round trip over randomized shapes and payloads:
+        /// encode → decode → encode is the identity on bytes.
+        #[test]
+        fn segment_roundtrip_randomized(
+            n_regions in 1usize..4,
+            n_steps in 1usize..64,
+            with_field in prop_oneof![Just(true), Just(false)],
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut entry = sample_entry(with_field, n_regions, n_steps);
+            // Scatter seed-driven bits through the feature sets.
+            let n = n_regions * n_steps;
+            let mut x = seed | 1;
+            for _ in 0..16 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                entry.features.salient.pos.set((x as usize) % n);
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                entry.features.extreme.neg.set((x as usize) % n);
+            }
+            if let Some(field) = &mut entry.field {
+                field.values[0] = f64::from_bits(seed);
+            }
+            let bytes = encode_function_segment(&entry);
+            let back = decode_function_segment(&bytes, entry.dataset_index, "prop").unwrap();
+            prop_assert_eq!(encode_function_segment(&back), bytes);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # polygamy-store — persistent index store and serving sessions
+//!
+//! The paper's central engineering claim (Sections 5.2/6.1) is that
+//! relationship queries touch only the precomputed feature index, never the
+//! raw data. This crate makes that claim pay off *across process
+//! lifetimes*: the index is written once to a durable, versioned on-disk
+//! form and served from then on by concurrent read sessions — no rebuild on
+//! restart, no raw data at query time.
+//!
+//! ## On-disk format (version 1)
+//!
+//! A store file has four regions:
+//!
+//! ```text
+//! header    40 bytes, fixed: magic "PLGYSTOR", version u32, flags u32,
+//!           manifest offset/len/FNV-1a checksum (3 × u64)
+//! geometry  the CityGeometry as a checksummed JSON blob
+//! segments  one independently checksummed binary segment per indexed
+//!           scalar function (FunctionEntry): spec, resolution, window,
+//!           salient/extreme feature bit vectors, seasonal thresholds,
+//!           optional scalar field, tree statistics
+//! manifest  geometry location, data set catalog, and a segment directory
+//!           (owner data set, function name, resolution, offset/len/
+//!           checksum per segment), written at the tail
+//! ```
+//!
+//! Everything outside the geometry blob is encoded by an explicit
+//! little-endian codec ([`codec`]): integers are little-endian, floats
+//! travel as IEEE-754 bit patterns (NaN-exact), strings and sequences are
+//! length-prefixed, and enums use the stable one-byte wire codes from
+//! `polygamy_stdata` — never compiler-assigned discriminants. Every region
+//! carries a 64-bit FNV-1a checksum; a truncated, bit-flipped or
+//! wrong-version file yields a typed [`StoreError`], never a panic or
+//! silently wrong data.
+//!
+//! The manifest lives at the *tail* so incremental maintenance
+//! ([`Store::upsert_dataset`] / [`Store::remove_dataset`]) can copy
+//! retained segment bytes verbatim, re-index only the data set being
+//! changed, and write a fresh directory. A segment's owning data set is
+//! recorded in the directory — not in the segment payload — so catalog
+//! renumbering never rewrites segment bytes.
+//!
+//! ## Versioning policy
+//!
+//! [`format::VERSION`] names the byte-stream contract: the codec layouts,
+//! the wire codes, and the clause fingerprint used for query-cache keys
+//! (64-bit FNV-1a, pinned by a regression test in `polygamy_core`). Any
+//! change to those bumps the version; readers reject every version other
+//! than their own with [`StoreError::UnsupportedVersion`] rather than
+//! guessing. Wire codes are append-only: new enum variants take fresh
+//! codes, existing codes are never renumbered.
+//!
+//! ## Reading
+//!
+//! [`Store::open`] reads header + manifest only (cheap at any corpus
+//! size); [`Store::load_filtered`] materializes just the segments matching
+//! a data set/resolution filter. [`StoreSession`] serves
+//! `RelationshipQuery`s from a loaded index behind a sharded, bounded LRU
+//! cache and is freely shared across reader threads:
+//!
+//! ```no_run
+//! use polygamy_store::{Store, StoreSession};
+//! use polygamy_core::prelude::*;
+//! # fn demo() -> polygamy_store::Result<()> {
+//! let session = StoreSession::open("city.plst")?;
+//! let query = RelationshipQuery::all().with_clause(Clause::default().min_score(0.6));
+//! for rel in session.query(&query)? {
+//!     println!("{rel}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod format;
+pub mod session;
+pub mod store;
+
+pub use error::{Result, StoreError};
+pub use format::{BlobLoc, Header, Manifest, SegmentInfo, VERSION};
+pub use session::StoreSession;
+pub use store::{LoadFilter, Store};

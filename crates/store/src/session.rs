@@ -1,0 +1,137 @@
+//! Concurrent serving sessions over a loaded store.
+//!
+//! A [`StoreSession`] answers [`RelationshipQuery`]s from the materialized
+//! index exactly like the in-memory framework — same operator, same
+//! significance machinery, same deterministic ordering — behind a sharded,
+//! bounded LRU cache. `query` takes `&self`, so one session can be shared
+//! across any number of reader threads; shards keep cache contention low
+//! and the LRU bound keeps memory flat under sustained traffic.
+//!
+//! A session built with a data-set [`LoadFilter`] serves only the loaded
+//! data sets: a query naming an unloaded one is a typed
+//! [`StoreError::DatasetNotLoaded`] — never a silently empty result — and
+//! whole-corpus queries range over the loaded subset.
+
+use crate::error::{Result, StoreError};
+use crate::store::{LoadFilter, Store};
+use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
+use polygamy_core::index::PolygamyIndex;
+use polygamy_core::query::RelationshipQuery;
+use polygamy_core::relationship::Relationship;
+use polygamy_core::{run_query, CityGeometry, Config};
+use std::path::Path;
+
+/// A read-only serving session: geometry + materialized index + query
+/// cache.
+#[derive(Debug)]
+pub struct StoreSession {
+    geometry: CityGeometry,
+    config: Config,
+    index: PolygamyIndex,
+    /// Names of the data sets whose segments were admitted by the load
+    /// filter — the set this session can serve.
+    loaded: Vec<String>,
+    cache: QueryCache,
+}
+
+impl StoreSession {
+    /// Opens a session over the whole store with the default configuration.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(path, Config::default(), &LoadFilter::all())
+    }
+
+    /// Opens a session with an explicit configuration and load filter —
+    /// only the function segments the filter admits are read off disk.
+    pub fn open_with(path: impl AsRef<Path>, config: Config, filter: &LoadFilter) -> Result<Self> {
+        Self::from_store(&Store::open(path)?, config, filter)
+    }
+
+    /// Builds a session from an already-open store.
+    pub fn from_store(store: &Store, config: Config, filter: &LoadFilter) -> Result<Self> {
+        let index = store.load_filtered(filter)?;
+        let loaded = match &filter.datasets {
+            None => index.datasets.iter().map(|d| d.meta.name.clone()).collect(),
+            Some(names) => names.clone(),
+        };
+        Ok(Self {
+            geometry: store.load_geometry()?,
+            config,
+            index,
+            loaded,
+            cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
+        })
+    }
+
+    /// Evaluates a relationship query against the loaded index.
+    ///
+    /// Results are identical to [`polygamy_core::DataPolygamy::query`] over
+    /// the same corpus, configuration and clause. On a session built with a
+    /// data-set filter, explicit names outside the loaded set yield
+    /// [`StoreError::DatasetNotLoaded`], and `None` collections range over
+    /// the loaded data sets only. Takes `&self`: sessions are shared freely
+    /// across reader threads.
+    pub fn query(&self, query: &RelationshipQuery) -> Result<Vec<Relationship>> {
+        let query = self.scope_to_loaded(query)?;
+        run_query(
+            &self.index,
+            &self.geometry,
+            &self.config,
+            &self.cache,
+            &query,
+        )
+        .map_err(Into::into)
+    }
+
+    /// Rewrites a query so it ranges only over loaded data sets, rejecting
+    /// explicit references to unloaded ones.
+    fn scope_to_loaded(&self, query: &RelationshipQuery) -> Result<RelationshipQuery> {
+        let scope = |names: &Option<Vec<String>>| -> Result<Option<Vec<String>>> {
+            match names {
+                None => Ok(Some(self.loaded.clone())),
+                Some(list) => {
+                    for name in list {
+                        // Unknown-anywhere names fall through to run_query's
+                        // UnknownDataset; known-but-unloaded ones are the
+                        // session's own refusal.
+                        if self.index.datasets.iter().any(|d| d.meta.name == *name)
+                            && !self.loaded.contains(name)
+                        {
+                            return Err(StoreError::DatasetNotLoaded(name.clone()));
+                        }
+                    }
+                    Ok(Some(list.clone()))
+                }
+            }
+        };
+        Ok(RelationshipQuery {
+            left: scope(&query.left)?,
+            right: scope(&query.right)?,
+            clause: query.clause.clone(),
+        })
+    }
+
+    /// The materialized index.
+    pub fn index(&self) -> &PolygamyIndex {
+        &self.index
+    }
+
+    /// Names of the data sets this session serves.
+    pub fn loaded_datasets(&self) -> &[String] {
+        &self.loaded
+    }
+
+    /// The geometry the index was built over.
+    pub fn geometry(&self) -> &CityGeometry {
+        &self.geometry
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Number of cached per-pair results (diagnostics/tests).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}

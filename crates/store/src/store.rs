@@ -1,0 +1,426 @@
+//! Reading and writing store files.
+//!
+//! [`Store::open`] reads only the 40-byte header and the manifest — cheap
+//! regardless of corpus size. Function segments are materialized on demand
+//! ([`Store::load`] / [`Store::load_filtered`]), each verified against its
+//! FNV-1a checksum before decoding. Writes go through a temp file renamed
+//! into place, so a crashed writer never leaves a half-written store at the
+//! target path.
+//!
+//! Incremental maintenance ([`Store::upsert_dataset`] /
+//! [`Store::remove_dataset`]) copies retained segment bytes verbatim —
+//! checksums verified, payloads never decoded — and re-indexes only the
+//! data set being changed, preserving the index-once/query-many economics
+//! for corpus updates.
+
+use crate::codec::{decode_function_segment, encode_function_segment};
+use crate::error::{Result, StoreError};
+use crate::format::{BlobLoc, Header, Manifest, SegmentInfo, HEADER_LEN, VERSION};
+use polygamy_core::index::{DatasetEntry, FunctionEntry, PolygamyIndex};
+use polygamy_core::{index_dataset, CityGeometry, Config, Fnv1a};
+use polygamy_stdata::{Dataset, Resolution};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Which parts of a store to materialize.
+///
+/// The catalog always loads in full (it is part of the manifest); the
+/// filter narrows which *function segments* are read off disk, so a session
+/// serving two data sets out of fifty touches only their bytes.
+#[derive(Debug, Clone, Default)]
+pub struct LoadFilter {
+    /// Restrict to these data sets (`None` = all).
+    pub datasets: Option<Vec<String>>,
+    /// Restrict to these resolutions (`None` = all).
+    pub resolutions: Option<Vec<Resolution>>,
+}
+
+impl LoadFilter {
+    /// Loads everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restricts loading to the named data sets.
+    pub fn datasets(mut self, names: &[&str]) -> Self {
+        self.datasets = Some(names.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Restricts loading to one resolution (callable repeatedly).
+    pub fn at_resolution(mut self, r: Resolution) -> Self {
+        self.resolutions.get_or_insert_with(Vec::new).push(r);
+        self
+    }
+
+    fn admits(&self, info: &SegmentInfo, catalog: &[DatasetEntry]) -> bool {
+        let dataset_ok = self.datasets.as_ref().is_none_or(|names| {
+            names
+                .iter()
+                .any(|n| catalog[info.dataset_index].meta.name == *n)
+        });
+        let resolution_ok = self
+            .resolutions
+            .as_ref()
+            .is_none_or(|rs| rs.contains(&info.resolution));
+        dataset_ok && resolution_ok
+    }
+}
+
+/// A store file opened for reading: header + manifest in memory, segments
+/// on disk.
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    header: Header,
+    manifest: Manifest,
+}
+
+impl Store {
+    // -- writing ----------------------------------------------------------
+
+    /// Writes `index` (built over `geometry`) as a new store file at
+    /// `path`, replacing any existing file atomically. Returns the opened
+    /// store.
+    pub fn save(
+        path: impl AsRef<Path>,
+        geometry: &CityGeometry,
+        index: &PolygamyIndex,
+    ) -> Result<Store> {
+        let geometry_bytes = encode_geometry(geometry)?;
+        // Group segments by data set in catalog order — the canonical
+        // layout incremental maintenance also produces.
+        let mut per_dataset: Vec<SegmentGroup> =
+            (0..index.datasets.len()).map(|_| Vec::new()).collect();
+        for entry in &index.functions {
+            let meta = SegmentMeta {
+                function: entry.spec.name.clone(),
+                resolution: entry.resolution,
+            };
+            per_dataset[entry.dataset_index].push((meta, encode_function_segment(entry)));
+        }
+        write_store(
+            path.as_ref(),
+            &geometry_bytes,
+            index.datasets.clone(),
+            per_dataset,
+        )
+    }
+
+    // -- opening and loading ----------------------------------------------
+
+    /// Opens a store, reading and verifying only the header and manifest.
+    pub fn open(path: impl AsRef<Path>) -> Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut header_bytes = vec![0u8; HEADER_LEN as usize];
+        if file_len < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                what: "header".into(),
+            });
+        }
+        file.read_exact(&mut header_bytes)?;
+        let header = Header::decode(&header_bytes)?;
+        let manifest_bytes = read_range(
+            &mut file,
+            file_len,
+            BlobLoc {
+                offset: header.manifest_offset,
+                len: header.manifest_len,
+                checksum: header.manifest_checksum,
+            },
+            "manifest",
+        )?;
+        let manifest = Manifest::decode(&manifest_bytes)?;
+        Ok(Store {
+            path,
+            header,
+            manifest,
+        })
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The manifest: catalog and segment directory.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Total file size in bytes (the real on-disk footprint).
+    pub fn file_bytes(&self) -> Result<u64> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    /// Loads and verifies the city geometry.
+    pub fn load_geometry(&self) -> Result<CityGeometry> {
+        let mut file = File::open(&self.path)?;
+        let file_len = file.metadata()?.len();
+        let bytes = read_range(&mut file, file_len, self.manifest.geometry, "geometry")?;
+        decode_geometry(&bytes)
+    }
+
+    /// Materializes the full index.
+    pub fn load(&self) -> Result<PolygamyIndex> {
+        self.load_filtered(&LoadFilter::all())
+    }
+
+    /// Materializes the catalog plus only the function segments admitted
+    /// by `filter`.
+    pub fn load_filtered(&self, filter: &LoadFilter) -> Result<PolygamyIndex> {
+        // Unknown data set names in the filter are caller errors, not
+        // silently-empty loads.
+        if let Some(names) = &filter.datasets {
+            for name in names {
+                self.manifest.dataset_index(name)?;
+            }
+        }
+        let mut file = File::open(&self.path)?;
+        let file_len = file.metadata()?.len();
+        let mut functions: Vec<FunctionEntry> = Vec::new();
+        for info in &self.manifest.segments {
+            if !filter.admits(info, &self.manifest.datasets) {
+                continue;
+            }
+            let what = format!(
+                "segment {}.{}",
+                self.manifest.datasets[info.dataset_index].meta.name, info.function
+            );
+            let bytes = read_range(&mut file, file_len, info.loc, &what)?;
+            functions.push(decode_function_segment(&bytes, info.dataset_index, &what)?);
+        }
+        Ok(PolygamyIndex {
+            datasets: self.manifest.datasets.clone(),
+            functions,
+        })
+    }
+
+    // -- incremental maintenance ------------------------------------------
+
+    /// Adds or replaces one data set in the store without re-indexing the
+    /// rest of the corpus: only `dataset` runs through the indexing jobs;
+    /// every other data set's segment bytes are copied verbatim (checksums
+    /// verified). Returns the reopened store.
+    pub fn upsert_dataset(
+        path: impl AsRef<Path>,
+        dataset: &Dataset,
+        config: &Config,
+    ) -> Result<Store> {
+        let path = path.as_ref();
+        let store = Store::open(path)?;
+        let geometry = store.load_geometry()?;
+        let name = dataset.meta.name.as_str();
+        let target = store
+            .manifest
+            .dataset_index(name)
+            .unwrap_or(store.manifest.datasets.len());
+
+        let (catalog_entry, entries, _stats) = index_dataset(config, &geometry, target, dataset);
+        let fresh: Vec<(SegmentMeta, Vec<u8>)> = entries
+            .iter()
+            .map(|entry| {
+                (
+                    SegmentMeta {
+                        function: entry.spec.name.clone(),
+                        resolution: entry.resolution,
+                    },
+                    encode_function_segment(entry),
+                )
+            })
+            .collect();
+
+        let mut catalog = store.manifest.datasets.clone();
+        if target == catalog.len() {
+            catalog.push(catalog_entry);
+        } else {
+            catalog[target] = catalog_entry;
+        }
+        let mut per_dataset = store.read_retained_segments(|di| di != target)?;
+        per_dataset.resize_with(catalog.len(), Vec::new);
+        per_dataset[target] = fresh;
+
+        let geometry_bytes = store.read_geometry_bytes()?;
+        write_store(path, &geometry_bytes, catalog, per_dataset)
+    }
+
+    /// Removes one data set's catalog entry and segments, copying everything
+    /// else verbatim. Returns the reopened store.
+    pub fn remove_dataset(path: impl AsRef<Path>, name: &str) -> Result<Store> {
+        let path = path.as_ref();
+        let store = Store::open(path)?;
+        let target = store.manifest.dataset_index(name)?;
+        let mut catalog = store.manifest.datasets.clone();
+        catalog.remove(target);
+        let mut per_dataset = store.read_retained_segments(|di| di != target)?;
+        per_dataset.remove(target);
+        let geometry_bytes = store.read_geometry_bytes()?;
+        write_store(path, &geometry_bytes, catalog, per_dataset)
+    }
+
+    /// Reads the raw (still-encoded) segments of every data set admitted by
+    /// `keep`, grouped by catalog position. Checksums are verified so
+    /// maintenance never copies corruption forward.
+    fn read_retained_segments(&self, keep: impl Fn(usize) -> bool) -> Result<Vec<SegmentGroup>> {
+        let mut file = File::open(&self.path)?;
+        let file_len = file.metadata()?.len();
+        let mut per_dataset: Vec<SegmentGroup> = (0..self.manifest.datasets.len())
+            .map(|_| Vec::new())
+            .collect();
+        for info in &self.manifest.segments {
+            if !keep(info.dataset_index) {
+                continue;
+            }
+            let what = format!(
+                "segment {}.{}",
+                self.manifest.datasets[info.dataset_index].meta.name, info.function
+            );
+            let bytes = read_range(&mut file, file_len, info.loc, &what)?;
+            per_dataset[info.dataset_index].push((
+                SegmentMeta {
+                    function: info.function.clone(),
+                    resolution: info.resolution,
+                },
+                bytes,
+            ));
+        }
+        Ok(per_dataset)
+    }
+
+    /// Reads the raw geometry blob, checksum-verified.
+    fn read_geometry_bytes(&self) -> Result<Vec<u8>> {
+        let mut file = File::open(&self.path)?;
+        let file_len = file.metadata()?.len();
+        read_range(&mut file, file_len, self.manifest.geometry, "geometry")
+    }
+}
+
+/// Routing metadata for one segment being written.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    function: String,
+    resolution: Resolution,
+}
+
+/// One data set's encoded segments, in directory order.
+type SegmentGroup = Vec<(SegmentMeta, Vec<u8>)>;
+
+/// Serialises the geometry blob (JSON payload inside the checksummed
+/// segment framing — polygon soup gains nothing from a binary codec and
+/// stays debuggable this way).
+fn encode_geometry(geometry: &CityGeometry) -> Result<Vec<u8>> {
+    serde_json::to_string(geometry)
+        .map(String::into_bytes)
+        .map_err(|e| StoreError::Corrupt(format!("geometry encode failed: {e}")))
+}
+
+fn decode_geometry(bytes: &[u8]) -> Result<CityGeometry> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| StoreError::Corrupt("geometry blob is not utf-8".into()))?;
+    serde_json::from_str(text)
+        .map_err(|e| StoreError::Corrupt(format!("geometry decode failed: {e}")))
+}
+
+/// Reads and checksum-verifies one blob range.
+fn read_range(file: &mut File, file_len: u64, loc: BlobLoc, what: &str) -> Result<Vec<u8>> {
+    let end = loc.offset.checked_add(loc.len);
+    if end.is_none_or(|e| e > file_len) {
+        return Err(StoreError::Truncated { what: what.into() });
+    }
+    file.seek(SeekFrom::Start(loc.offset))?;
+    let mut bytes = vec![
+        0u8;
+        usize::try_from(loc.len).map_err(|_| StoreError::Corrupt(format!(
+            "{what}: length exceeds usize"
+        )))?
+    ];
+    file.read_exact(&mut bytes)?;
+    if Fnv1a::hash_bytes(&bytes) != loc.checksum {
+        return Err(StoreError::ChecksumMismatch { what: what.into() });
+    }
+    Ok(bytes)
+}
+
+/// Composes and atomically writes a complete store file, then reopens it.
+fn write_store(
+    path: &Path,
+    geometry_bytes: &[u8],
+    catalog: Vec<DatasetEntry>,
+    per_dataset: Vec<SegmentGroup>,
+) -> Result<Store> {
+    debug_assert_eq!(catalog.len(), per_dataset.len());
+    let mut offset = HEADER_LEN;
+    let geometry_loc = BlobLoc {
+        offset,
+        len: geometry_bytes.len() as u64,
+        checksum: Fnv1a::hash_bytes(geometry_bytes),
+    };
+    offset += geometry_loc.len;
+
+    let mut segments: Vec<SegmentInfo> = Vec::new();
+    let mut payloads: Vec<&[u8]> = Vec::new();
+    for (di, group) in per_dataset.iter().enumerate() {
+        for (meta, bytes) in group {
+            segments.push(SegmentInfo {
+                dataset_index: di,
+                function: meta.function.clone(),
+                resolution: meta.resolution,
+                loc: BlobLoc {
+                    offset,
+                    len: bytes.len() as u64,
+                    checksum: Fnv1a::hash_bytes(bytes),
+                },
+            });
+            payloads.push(bytes);
+            offset += bytes.len() as u64;
+        }
+    }
+
+    let manifest = Manifest {
+        geometry: geometry_loc,
+        datasets: catalog,
+        segments,
+    };
+    let manifest_bytes = manifest.encode();
+    let header = Header {
+        version: VERSION,
+        manifest_offset: offset,
+        manifest_len: manifest_bytes.len() as u64,
+        manifest_checksum: Fnv1a::hash_bytes(&manifest_bytes),
+    };
+
+    // Temp file in the same directory so the final rename stays on one
+    // filesystem. The name appends to the full file name (never replaces an
+    // extension) and carries pid + a process-wide counter, so concurrent
+    // writers — even to paths sharing a stem — never collide.
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let written = (|| -> Result<()> {
+        let mut out = File::create(&tmp)?;
+        out.write_all(&header.encode())?;
+        out.write_all(geometry_bytes)?;
+        for payload in &payloads {
+            out.write_all(payload)?;
+        }
+        out.write_all(&manifest_bytes)?;
+        out.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if written.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    written?;
+    Store::open(path)
+}

@@ -1,0 +1,350 @@
+//! End-to-end store invariants (the PR's acceptance criteria):
+//!
+//! * save → load → `StoreSession::query` returns results identical to the
+//!   in-memory `DataPolygamy::query` for the same corpus and clause;
+//! * incremental upsert of one data set into an existing store matches a
+//!   from-scratch rebuild of the same corpus;
+//! * selective loading materializes only the requested segments;
+//! * corrupted/truncated/mis-versioned files yield typed errors;
+//! * one session serves concurrent readers.
+
+use polygamy_core::prelude::*;
+use polygamy_core::DataPolygamy;
+use polygamy_store::{LoadFilter, Store, StoreError, StoreSession};
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "polygamy-store-test-{}-{tag}.plst",
+        std::process::id()
+    ))
+}
+
+/// Removes the file when dropped, so failures don't litter the temp dir.
+struct Cleanup(PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn spiky_dataset(name: &str, level: f64, bump_at: i64) -> Dataset {
+    let meta = DatasetMeta {
+        name: name.into(),
+        spatial_resolution: SpatialResolution::City,
+        temporal_resolution: TemporalResolution::Hour,
+        description: format!("store-test data set {name}"),
+    };
+    let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("signal"));
+    for h in 0..600i64 {
+        let v = if h == bump_at || h == bump_at + 137 {
+            40.0
+        } else {
+            level + (h % 24) as f64 * 0.05
+        };
+        b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v])
+            .expect("schema matches");
+    }
+    b.build().expect("dataset builds")
+}
+
+fn corpus() -> Vec<Dataset> {
+    vec![
+        spiky_dataset("alpha", 1.0, 100),
+        spiky_dataset("beta", -2.0, 100),
+        spiky_dataset("gamma", 0.5, 333),
+    ]
+}
+
+fn build_framework(datasets: &[Dataset]) -> DataPolygamy {
+    let mut dp = DataPolygamy::new(
+        CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+        Config::fast_test(),
+    );
+    for d in datasets {
+        dp.add_dataset(d.clone());
+    }
+    dp.build_index();
+    dp
+}
+
+fn test_clause() -> Clause {
+    Clause::default().permutations(40).include_insignificant()
+}
+
+#[test]
+fn session_query_matches_in_memory_framework() {
+    let path = tmp_path("roundtrip");
+    let _cleanup = Cleanup(path.clone());
+    let dp = build_framework(&corpus());
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+
+    let session = StoreSession::open_with(&path, Config::fast_test(), &LoadFilter::all()).unwrap();
+    // The materialized index is byte-for-byte the one that was saved.
+    assert_eq!(
+        session.index().to_json().unwrap(),
+        dp.index().unwrap().to_json().unwrap()
+    );
+    // And every query form answers identically.
+    for query in [
+        RelationshipQuery::all().with_clause(test_clause()),
+        RelationshipQuery::of("alpha").with_clause(test_clause()),
+        RelationshipQuery::between(&["beta"], &["gamma"]).with_clause(test_clause()),
+    ] {
+        let from_store = session.query(&query).unwrap();
+        let in_memory = dp.query(&query).unwrap();
+        assert_eq!(from_store, in_memory);
+        assert!(!from_store.is_empty() || query.left.is_some());
+    }
+    assert!(session.cache_len() > 0, "results were cached");
+}
+
+#[test]
+fn incremental_upsert_matches_scratch_rebuild() {
+    let incremental = tmp_path("upsert-inc");
+    let scratch = tmp_path("upsert-scratch");
+    let _c1 = Cleanup(incremental.clone());
+    let _c2 = Cleanup(scratch.clone());
+    let datasets = corpus();
+    let config = Config::fast_test();
+
+    // Store over {alpha, beta}, then upsert gamma incrementally.
+    let two = build_framework(&datasets[..2]);
+    Store::save(&incremental, two.geometry(), two.index().unwrap()).unwrap();
+    Store::upsert_dataset(&incremental, &datasets[2], &config).unwrap();
+
+    // From-scratch store over {alpha, beta, gamma}.
+    let three = build_framework(&datasets);
+    Store::save(&scratch, three.geometry(), three.index().unwrap()).unwrap();
+
+    let inc_index = Store::open(&incremental).unwrap().load().unwrap();
+    let scr_index = Store::open(&scratch).unwrap().load().unwrap();
+    assert_eq!(inc_index.to_json().unwrap(), scr_index.to_json().unwrap());
+
+    // Queries agree too (and with the in-memory framework).
+    let q = RelationshipQuery::all().with_clause(test_clause());
+    let inc_session = StoreSession::open_with(&incremental, config, &LoadFilter::all()).unwrap();
+    assert_eq!(inc_session.query(&q).unwrap(), three.query(&q).unwrap());
+}
+
+#[test]
+fn upsert_replaces_existing_dataset() {
+    let path = tmp_path("upsert-replace");
+    let scratch = tmp_path("upsert-replace-scratch");
+    let _c1 = Cleanup(path.clone());
+    let _c2 = Cleanup(scratch.clone());
+    let config = Config::fast_test();
+    let datasets = corpus();
+    let dp = build_framework(&datasets);
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+
+    // Replace beta with a reshaped version, in place.
+    let beta2 = spiky_dataset("beta", 3.0, 200);
+    Store::upsert_dataset(&path, &beta2, &config).unwrap();
+
+    let replaced = vec![datasets[0].clone(), beta2, datasets[2].clone()];
+    let expect = build_framework(&replaced);
+    Store::save(&scratch, expect.geometry(), expect.index().unwrap()).unwrap();
+    assert_eq!(
+        Store::open(&path)
+            .unwrap()
+            .load()
+            .unwrap()
+            .to_json()
+            .unwrap(),
+        Store::open(&scratch)
+            .unwrap()
+            .load()
+            .unwrap()
+            .to_json()
+            .unwrap()
+    );
+}
+
+#[test]
+fn remove_dataset_matches_scratch_rebuild() {
+    let path = tmp_path("remove");
+    let _cleanup = Cleanup(path.clone());
+    let datasets = corpus();
+    let dp = build_framework(&datasets);
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+    let store = Store::remove_dataset(&path, "beta").unwrap();
+    assert_eq!(store.manifest().datasets.len(), 2);
+
+    let kept = vec![datasets[0].clone(), datasets[2].clone()];
+    let expect = build_framework(&kept);
+    assert_eq!(
+        store.load().unwrap().to_json().unwrap(),
+        expect.index().unwrap().to_json().unwrap()
+    );
+    // Removing a data set not in the catalog is a typed error.
+    assert!(matches!(
+        Store::remove_dataset(&path, "beta"),
+        Err(StoreError::UnknownDataset(_))
+    ));
+}
+
+#[test]
+fn selective_loading_materializes_only_requested_segments() {
+    let path = tmp_path("selective");
+    let _cleanup = Cleanup(path.clone());
+    let dp = build_framework(&corpus());
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+    let store = Store::open(&path).unwrap();
+
+    let full = store.load().unwrap();
+    let partial = store
+        .load_filtered(&LoadFilter::all().datasets(&["alpha", "gamma"]))
+        .unwrap();
+    // Catalog always loads in full; functions only for the admitted sets.
+    assert_eq!(partial.datasets.len(), 3);
+    assert!(partial.functions.len() < full.functions.len());
+    assert!(partial.functions.iter().all(|f| f.dataset_index != 1));
+    assert_eq!(
+        partial.functions.len(),
+        full.functions
+            .iter()
+            .filter(|f| f.dataset_index != 1)
+            .count()
+    );
+    // A partial session still answers queries over its loaded data sets.
+    let session = StoreSession::from_store(
+        &store,
+        Config::fast_test(),
+        &LoadFilter::all().datasets(&["alpha", "gamma"]),
+    )
+    .unwrap();
+    let q = RelationshipQuery::between(&["alpha"], &["gamma"]).with_clause(test_clause());
+    assert_eq!(session.query(&q).unwrap(), dp.query(&q).unwrap());
+    // Unknown names in the filter are typed errors, not empty loads.
+    assert!(matches!(
+        store.load_filtered(&LoadFilter::all().datasets(&["nope"])),
+        Err(StoreError::UnknownDataset(_))
+    ));
+    // Querying a cataloged-but-unloaded data set is a typed refusal, never
+    // a silently empty result.
+    assert_eq!(session.loaded_datasets(), ["alpha", "gamma"]);
+    assert!(matches!(
+        session.query(
+            &RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(test_clause())
+        ),
+        Err(StoreError::DatasetNotLoaded(name)) if name == "beta"
+    ));
+    // A name unknown to the whole catalog keeps its UnknownDataset error.
+    assert!(matches!(
+        session
+            .query(&RelationshipQuery::between(&["alpha"], &["nope"]).with_clause(test_clause())),
+        Err(StoreError::Query(polygamy_core::Error::UnknownDataset(_)))
+    ));
+    // Whole-corpus queries range over the loaded subset: identical to the
+    // explicit pair, with no silently dropped pairs involving beta.
+    assert_eq!(
+        session
+            .query(&RelationshipQuery::all().with_clause(test_clause()))
+            .unwrap(),
+        session.query(&q).unwrap()
+    );
+}
+
+#[test]
+fn corruption_yields_typed_errors() {
+    let path = tmp_path("corruption");
+    let _cleanup = Cleanup(path.clone());
+    let dp = build_framework(&corpus()[..2]);
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    let store = Store::open(&path).unwrap();
+    let first_segment = store.manifest().segments[0].loc;
+
+    // Truncated inside the manifest tail: open() fails with Truncated.
+    std::fs::write(&path, &pristine[..pristine.len() - 10]).unwrap();
+    assert!(matches!(
+        Store::open(&path),
+        Err(StoreError::Truncated { .. })
+    ));
+
+    // Truncated to a partial header.
+    std::fs::write(&path, &pristine[..20]).unwrap();
+    assert!(matches!(
+        Store::open(&path),
+        Err(StoreError::Truncated { .. })
+    ));
+
+    // A flipped byte inside a segment payload: open() succeeds (manifest is
+    // intact), loading that segment reports a checksum mismatch.
+    let mut flipped = pristine.clone();
+    flipped[first_segment.offset as usize + 3] ^= 0x40;
+    std::fs::write(&path, &flipped).unwrap();
+    let reopened = Store::open(&path).unwrap();
+    assert!(matches!(
+        reopened.load(),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+    // Maintenance refuses to copy the corruption forward: removing beta
+    // would copy alpha's (corrupted) segments verbatim, so it must fail.
+    assert!(matches!(
+        Store::remove_dataset(&path, "beta"),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+
+    // A flipped byte in the stored manifest checksum field of the header.
+    let mut bad_sum = pristine.clone();
+    bad_sum[32] ^= 0xFF; // header bytes 32..40 = manifest checksum
+    std::fs::write(&path, &bad_sum).unwrap();
+    assert!(matches!(
+        Store::open(&path),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+
+    // Wrong version.
+    let mut bad_version = pristine.clone();
+    bad_version[8] = 0x7F;
+    std::fs::write(&path, &bad_version).unwrap();
+    assert!(matches!(
+        Store::open(&path),
+        Err(StoreError::UnsupportedVersion {
+            found: 0x7F,
+            supported: 1
+        })
+    ));
+
+    // Wrong magic.
+    let mut bad_magic = pristine.clone();
+    bad_magic[0] = b'X';
+    std::fs::write(&path, &bad_magic).unwrap();
+    assert!(matches!(Store::open(&path), Err(StoreError::BadMagic)));
+
+    // And the pristine bytes still load fine (the tests above really were
+    // exercising the corruption, not some unrelated breakage).
+    std::fs::write(&path, &pristine).unwrap();
+    Store::open(&path).unwrap().load().unwrap();
+}
+
+#[test]
+fn one_session_serves_concurrent_readers() {
+    let path = tmp_path("concurrent");
+    let _cleanup = Cleanup(path.clone());
+    let dp = build_framework(&corpus());
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+    let session = StoreSession::open_with(&path, Config::fast_test(), &LoadFilter::all()).unwrap();
+    let expected = dp
+        .query(&RelationshipQuery::all().with_clause(test_clause()))
+        .unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    let got = session
+                        .query(&RelationshipQuery::all().with_clause(test_clause()))
+                        .unwrap();
+                    assert_eq!(got, expected);
+                }
+            });
+        }
+    });
+    // All threads hit the same pair/clause keys: the cache stays bounded
+    // and small.
+    assert!(session.cache_len() >= 1);
+}

@@ -156,6 +156,30 @@ impl BitVec {
     pub fn approx_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// The packed word representation (little-endian bit order within each
+    /// word) — the serialization surface for on-disk persistence.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a vector from its packed words. Returns `None` when
+    /// `words` is not exactly `len.div_ceil(64)` words long or a bit beyond
+    /// `len` is set (the representation invariant decoders must enforce).
+    pub fn from_words(len: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Self { len, words })
+    }
 }
 
 impl FromIterator<usize> for BitVec {
@@ -275,6 +299,22 @@ mod tests {
         let s = bv.slice(64, 96); // aligned start, tail within word
         assert_eq!(s.count_ones(), 1);
         assert!(s.get(0));
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let mut bv = BitVec::zeros(130);
+        bv.set(0);
+        bv.set(64);
+        bv.set(129);
+        let back = BitVec::from_words(130, bv.words().to_vec()).unwrap();
+        assert_eq!(back, bv);
+        // Wrong word count rejected.
+        assert!(BitVec::from_words(130, vec![0u64; 2]).is_none());
+        // Stray bit beyond len rejected.
+        assert!(BitVec::from_words(130, vec![0, 0, 1u64 << 2]).is_none());
+        // Tail bit exactly at len - 1 accepted.
+        assert!(BitVec::from_words(130, vec![0, 0, 1u64 << 1]).is_some());
     }
 
     #[test]

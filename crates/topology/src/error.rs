@@ -1,0 +1,45 @@
+//! Typed errors for the topology substrate.
+//!
+//! Persistence pairing guarantees one pair per leaf, but callers that look
+//! up a pair by extremum vertex (threshold derivation, diagnostics, index
+//! persistence) can ask for a vertex that is not a leaf — e.g. after a
+//! corrupted index file reconstructed a tree with mismatched pairing. That
+//! lookup failure is an error to propagate, never a panic.
+
+use std::fmt;
+
+/// Errors raised by the topology layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// No persistence pair exists for the requested extremum vertex.
+    MissingPair {
+        /// The vertex whose pair was requested.
+        extremum: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MissingPair { extremum } => {
+                write!(f, "no persistence pair for extremum vertex {extremum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_vertex() {
+        let e = Error::MissingPair { extremum: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+}

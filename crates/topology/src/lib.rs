@@ -24,6 +24,7 @@
 
 pub mod bitvec;
 pub mod criticals;
+pub mod error;
 pub mod features;
 pub mod gradient;
 pub mod graph;
@@ -35,6 +36,7 @@ pub mod union_find;
 
 pub use bitvec::BitVec;
 pub use criticals::{classify_extrema, CriticalKind};
+pub use error::Error;
 pub use features::{FeatureClass, FeatureSet, FeatureSets};
 pub use gradient::{gradient_magnitude, temporal_derivative};
 pub use graph::DomainGraph;

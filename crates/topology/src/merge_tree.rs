@@ -23,6 +23,7 @@
 //! function is only defined where data exists, and the domain may therefore
 //! be disconnected — each connected piece closes its own essential pair.
 
+use crate::error::{Error, Result};
 use crate::graph::DomainGraph;
 use crate::persistence::{PersistenceDiagram, PersistencePair};
 use serde::{Deserialize, Serialize};
@@ -108,6 +109,17 @@ impl MergeTree {
             .iter()
             .map(PersistencePair::persistence)
             .collect()
+    }
+
+    /// The persistence pair created by `extremum`, or
+    /// [`Error::MissingPair`] when that vertex created no component (it is
+    /// not a leaf of this tree).
+    pub fn pair_of(&self, extremum: u32) -> Result<PersistencePair> {
+        self.pairs
+            .iter()
+            .find(|p| p.extremum == extremum)
+            .copied()
+            .ok_or(Error::MissingPair { extremum })
     }
 
     fn compute(graph: &DomainGraph, f: &[f64], direction: Direction) -> Self {
@@ -335,13 +347,7 @@ mod tests {
         let (g, f) = figure2_function();
         let t = MergeTree::join(&g, &f);
         assert_eq!(t.pairs.len(), 4);
-        let pair_of = |extremum: u32| {
-            t.pairs
-                .iter()
-                .find(|p| p.extremum == extremum)
-                .copied()
-                .unwrap_or_else(|| panic!("no pair for {extremum}"))
-        };
+        let pair_of = |extremum: u32| t.pair_of(extremum).expect("leaf has a pair");
         // "The component created last, at v6, is destroyed at v5":
         // π6 = 4.0 - 3.0 = 1.0.
         let p6 = pair_of(5);
@@ -470,6 +476,27 @@ mod tests {
         assert_eq!(join.pairs.len(), join.leaves.len());
         let split = MergeTree::split(&g, &f);
         assert_eq!(split.pairs.len(), split.leaves.len());
+    }
+
+    #[test]
+    fn missing_pair_is_a_typed_error_not_a_panic() {
+        // Regression: looking up the pair of a non-leaf vertex used to be
+        // expressed as a panic; it must be a typed, propagatable error.
+        let (g, f) = figure2_function();
+        let t = MergeTree::join(&g, &f);
+        // v1 (index 0) is the global minimum — a root, not a leaf.
+        assert_eq!(
+            t.pair_of(0),
+            Err(crate::error::Error::MissingPair { extremum: 0 })
+        );
+        // Out-of-domain vertices are equally well-typed.
+        assert!(matches!(
+            t.pair_of(999),
+            Err(crate::error::Error::MissingPair { extremum: 999 })
+        ));
+        // The error propagates through the diagram view as well.
+        assert!(t.diagram().pair_of(0).is_err());
+        assert_eq!(t.diagram().pair_of(7).unwrap().extremum, 7);
     }
 
     #[test]

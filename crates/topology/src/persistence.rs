@@ -6,6 +6,7 @@
 //! `|f(creator) − f(destroyer)|` is the lifetime of the feature: the height
 //! of a peak or the depth of a valley.
 
+use crate::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 
 /// One creator–destroyer pair.
@@ -69,6 +70,16 @@ impl PersistenceDiagram {
     /// Maximum persistence in the diagram (0 when empty).
     pub fn max_persistence(&self) -> f64 {
         self.persistences().into_iter().fold(0.0, f64::max)
+    }
+
+    /// The pair created by `extremum`, or [`Error::MissingPair`] when the
+    /// diagram holds no pair for that vertex.
+    pub fn pair_of(&self, extremum: u32) -> Result<PersistencePair> {
+        self.pairs
+            .iter()
+            .find(|p| p.extremum == extremum)
+            .copied()
+            .ok_or(Error::MissingPair { extremum })
     }
 }
 
