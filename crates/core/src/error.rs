@@ -13,6 +13,10 @@ pub enum Error {
     UnknownFunction(String),
     /// The index has not been built yet.
     IndexNotBuilt,
+    /// An indexed function sits at a spatial resolution the geometry has no
+    /// partition for (an index/geometry mismatch, e.g. a store file whose
+    /// geometry was saved without the partition its segments require).
+    MissingGeometry(polygamy_stdata::SpatialResolution),
     /// A query referenced the same data set on both sides.
     SelfRelationship(String),
     /// Index (de)serialisation failed.
@@ -26,6 +30,11 @@ impl fmt::Display for Error {
             Error::UnknownDataset(name) => write!(f, "unknown data set: {name}"),
             Error::UnknownFunction(name) => write!(f, "unknown function: {name}"),
             Error::IndexNotBuilt => write!(f, "index not built; call build_index() first"),
+            Error::MissingGeometry(r) => write!(
+                f,
+                "no geometry partition for spatial resolution '{}' required by an indexed function",
+                r.label()
+            ),
             Error::SelfRelationship(name) => {
                 write!(f, "relationship of {name} with itself is not defined")
             }
@@ -60,6 +69,11 @@ mod tests {
     fn display_variants() {
         assert!(Error::UnknownDataset("x".into()).to_string().contains("x"));
         assert!(Error::IndexNotBuilt.to_string().contains("build_index"));
+        assert!(
+            Error::MissingGeometry(polygamy_stdata::SpatialResolution::Zip)
+                .to_string()
+                .contains("zip")
+        );
         let wrapped = Error::from(polygamy_stdata::Error::EmptyDomain);
         assert!(wrapped.to_string().contains("data error"));
     }

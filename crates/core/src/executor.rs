@@ -1,0 +1,268 @@
+//! The flat deterministic parallel query executor.
+//!
+//! The paper's relationship operator is embarrassingly parallel: Section
+//! 5.3 evaluates the n×m candidate function pairs per resolution as one
+//! Hadoop job. This module reproduces that execution shape for the read
+//! path. A query — or a whole batch of queries — is planned on the
+//! coordinating thread and expanded *up front* into its complete flat list
+//! of (pair × function-unit × class) [`UnitTask`]s; the tasks then run on a
+//! **single shared worker pool** ([`run_chunked_tasks`]), and results are
+//! assembled in canonical task order. The invariants this buys:
+//!
+//! * **no per-pair pool spawn** — one pool serves an entire
+//!   `query`/`query_many` call, however many pairs it expands to;
+//! * **worker-count independence** — each task is pure (its Monte Carlo
+//!   seed derives from the task identity, never from scheduling), and
+//!   assembly order is the expansion order, so results are byte-identical
+//!   for `workers = 1..N`;
+//! * **batch amortisation** — `query_many` expands every query before
+//!   scheduling, so pool startup and stragglers amortise across the batch.
+//!
+//! Cache lookups stay on the coordinating thread: hits are spliced into the
+//! plan, only misses are scheduled, and identical (pair, clause) requests
+//! appearing several times in one batch are evaluated once.
+
+use crate::cache::QueryCache;
+use crate::error::Result;
+use crate::framework::{CityGeometry, Config};
+use crate::index::PolygamyIndex;
+use crate::operator::{evaluate_unit, expand_pair_tasks, UnitTask};
+use crate::query::RelationshipQuery;
+use crate::relationship::Relationship;
+use polygamy_mapreduce::run_chunked_tasks;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// How one canonical pair of a planned query is satisfied.
+enum PairSource {
+    /// Served from the query cache.
+    Cached(Arc<Vec<Relationship>>),
+    /// Evaluated by this batch; index into the miss list.
+    Pending(usize),
+}
+
+/// One distinct (pair, clause) evaluation this batch owes.
+struct Miss<'q> {
+    /// Cache key: canonical dataset pair + clause fingerprint.
+    key: (usize, usize, u64),
+    /// The clause to evaluate under (clauses with equal fingerprints are
+    /// interchangeable by construction of [`crate::query::Clause::cache_key`]).
+    clause: &'q crate::query::Clause,
+}
+
+/// Chunk size for scheduling `n_tasks` evaluation tasks on `workers`
+/// threads: large enough to amortise queue traffic on huge expansions,
+/// small enough (≥ 8 chunks per worker) to keep stragglers from starving
+/// the pool. Chunking never affects results, only scheduling granularity.
+pub(crate) fn task_chunk_size(n_tasks: usize, workers: usize) -> usize {
+    (n_tasks / (workers.max(1) * 8)).max(1)
+}
+
+/// Deterministic presentation order: strongest |τ| first, ties broken by
+/// function names, resolution and class.
+///
+/// Scores are compared with [`f64::total_cmp`]: a non-finite score —
+/// possible on degenerate inputs such as constant functions with custom
+/// thresholds — sorts to a stable position (NaN |τ| first, as the largest
+/// value in total order) instead of panicking the query.
+pub(crate) fn sort_relationships(rels: &mut [Relationship]) {
+    rels.sort_by(|x, y| {
+        y.score()
+            .abs()
+            .total_cmp(&x.score().abs())
+            .then_with(|| x.left.to_string().cmp(&y.left.to_string()))
+            .then_with(|| x.right.to_string().cmp(&y.right.to_string()))
+            .then_with(|| x.resolution.label().cmp(&y.resolution.label()))
+            .then_with(|| x.class.label().cmp(y.class.label()))
+    });
+}
+
+/// Evaluates a batch of relationship queries against an index on one shared
+/// worker pool — the read path behind `DataPolygamy::{query, query_many}`
+/// and `StoreSession::{query, query_many}`.
+///
+/// Returns one result vector per input query, in input order. Pairs are
+/// deduplicated within each query (the operator is symmetric up to swapping
+/// left/right) and evaluations are deduplicated across the whole batch;
+/// per-pair results are served from `cache` keyed by the clause
+/// fingerprint and inserted on evaluation.
+pub(crate) fn execute_queries(
+    index: &PolygamyIndex,
+    geometry: &CityGeometry,
+    config: &Config,
+    cache: &QueryCache,
+    queries: &[RelationshipQuery],
+) -> Result<Vec<Vec<Relationship>>> {
+    // ---- Plan: resolve names, canonicalise pairs, split hits from misses.
+    let resolve = |names: &Option<Vec<String>>| -> Result<Vec<usize>> {
+        match names {
+            None => Ok((0..index.datasets.len()).collect()),
+            Some(list) => list.iter().map(|n| index.dataset_index(n)).collect(),
+        }
+    };
+    let mut misses: Vec<Miss> = Vec::new();
+    let mut miss_of: HashMap<(usize, usize, u64), usize> = HashMap::new();
+    let mut plans: Vec<Vec<PairSource>> = Vec::with_capacity(queries.len());
+    for query in queries {
+        let left = resolve(&query.left)?;
+        let right = resolve(&query.right)?;
+        let clause_key = query.clause.cache_key();
+        // All-pairs queries produce exactly n·(n−1)/2 canonical pairs;
+        // explicit collections at most |left|·|right|.
+        let cap = if query.left.is_none() && query.right.is_none() {
+            let n = left.len();
+            n * n.saturating_sub(1) / 2
+        } else {
+            left.len() * right.len()
+        };
+        let mut plan: Vec<PairSource> = Vec::with_capacity(cap);
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(cap);
+        for &a in &left {
+            for &b in &right {
+                if a == b {
+                    continue;
+                }
+                // Canonicalise so (a, b) and (b, a) share cache entries;
+                // results are reported with the canonical orientation.
+                let pair = (a.min(b), a.max(b));
+                if !seen.insert(pair) {
+                    continue;
+                }
+                let key = (pair.0, pair.1, clause_key);
+                match cache.get(&key) {
+                    Some(hit) => plan.push(PairSource::Cached(hit)),
+                    None => {
+                        let mi = *miss_of.entry(key).or_insert_with(|| {
+                            misses.push(Miss {
+                                key,
+                                clause: &query.clause,
+                            });
+                            misses.len() - 1
+                        });
+                        plan.push(PairSource::Pending(mi));
+                    }
+                }
+            }
+        }
+        plans.push(plan);
+    }
+
+    // ---- Expand every miss into its flat unit-task list (geometry is
+    // validated here, on the coordinating thread).
+    let mut tasks: Vec<UnitTask> = Vec::new();
+    let mut task_ranges: Vec<Range<usize>> = Vec::with_capacity(misses.len());
+    for miss in &misses {
+        let start = tasks.len();
+        expand_pair_tasks(
+            index,
+            geometry,
+            miss.key.0,
+            miss.key.1,
+            miss.clause,
+            &mut tasks,
+        )?;
+        task_ranges.push(start..tasks.len());
+    }
+
+    // ---- Evaluate the entire batch on one shared pool.
+    let workers = config.cluster.workers();
+    let results = run_chunked_tasks(
+        workers,
+        tasks.len(),
+        task_chunk_size(tasks.len(), workers),
+        |i| evaluate_unit(&tasks[i], config),
+    );
+
+    // ---- Assemble per-miss results in canonical task order; fill the cache.
+    let mut results = results.into_iter();
+    let mut evaluated: Vec<Arc<Vec<Relationship>>> = Vec::with_capacity(misses.len());
+    for (miss, range) in misses.iter().zip(&task_ranges) {
+        let rels: Vec<Relationship> = results.by_ref().take(range.len()).flatten().collect();
+        let rels = Arc::new(rels);
+        cache.insert(miss.key, Arc::clone(&rels));
+        evaluated.push(rels);
+    }
+
+    // ---- Stitch each query's output from hits and fresh evaluations.
+    let mut out = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let mut rels: Vec<Relationship> = Vec::new();
+        for source in plan {
+            match source {
+                PairSource::Cached(r) => rels.extend(r.iter().cloned()),
+                PairSource::Pending(mi) => rels.extend(evaluated[mi].iter().cloned()),
+            }
+        }
+        sort_relationships(&mut rels);
+        out.push(rels);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionRef;
+    use crate::relationship::RelationshipMeasures;
+    use polygamy_stdata::{Resolution, SpatialResolution, TemporalResolution};
+    use polygamy_topology::FeatureClass;
+
+    fn rel(left: &str, score: f64) -> Relationship {
+        Relationship {
+            left: FunctionRef {
+                dataset: left.into(),
+                function: "density".into(),
+            },
+            right: FunctionRef {
+                dataset: "other".into(),
+                function: "density".into(),
+            },
+            resolution: Resolution::new(SpatialResolution::City, TemporalResolution::Hour),
+            class: FeatureClass::Salient,
+            measures: RelationshipMeasures {
+                n_pos: 1,
+                n_neg: 0,
+                n_left: 1,
+                n_right: 1,
+                score,
+                strength: 1.0,
+            },
+            p_value: 1.0,
+            significant: false,
+        }
+    }
+
+    #[test]
+    fn sort_is_total_even_with_nan_scores() {
+        // A degenerate pair can surface a non-finite score; the sort must
+        // order it deterministically instead of panicking.
+        let mut rels = vec![rel("a", 0.25), rel("b", f64::NAN), rel("c", 0.9)];
+        sort_relationships(&mut rels);
+        // NaN |τ| is the largest value in IEEE total order.
+        assert!(rels[0].score().is_nan());
+        assert_eq!(rels[1].left.dataset, "c");
+        assert_eq!(rels[2].left.dataset, "a");
+        // And sorting is idempotent (stable output on resort).
+        let once = rels.clone();
+        sort_relationships(&mut rels);
+        assert_eq!(format!("{rels:?}"), format!("{once:?}"));
+    }
+
+    #[test]
+    fn sort_breaks_ties_by_name() {
+        let mut rels = vec![rel("zeta", 0.5), rel("alpha", 0.5), rel("mid", 0.5)];
+        sort_relationships(&mut rels);
+        let names: Vec<&str> = rels.iter().map(|r| r.left.dataset.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn chunk_size_scales_with_tasks() {
+        assert_eq!(task_chunk_size(0, 4), 1);
+        assert_eq!(task_chunk_size(10, 4), 1);
+        assert_eq!(task_chunk_size(3_200, 4), 100);
+        // Degenerate worker counts never panic or return zero.
+        assert_eq!(task_chunk_size(100, 0), 12);
+    }
+}

@@ -8,8 +8,8 @@
 
 use crate::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
 use crate::error::{Error, Result};
+use crate::executor::execute_queries;
 use crate::index::{DatasetEntry, FunctionEntry, PolygamyIndex};
-use crate::operator::relation;
 use crate::pipeline::{compute_scalar_functions, identify_features};
 use crate::query::RelationshipQuery;
 use crate::relationship::Relationship;
@@ -18,8 +18,6 @@ use polygamy_mapreduce::Cluster;
 use polygamy_stats::permutation::MonteCarlo;
 use polygamy_stdata::{Dataset, SpatialPartition, SpatialResolution};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// The polygon partitions of the city at each evaluable spatial resolution.
@@ -280,7 +278,9 @@ impl DataPolygamy {
         self.query(&RelationshipQuery::between(&[d1], &[d2]))
     }
 
-    /// Evaluates a relationship query.
+    /// Evaluates a relationship query on the flat executor: the query's
+    /// pairs expand into one task list served by a single worker pool, so
+    /// results are identical for any worker count.
     ///
     /// Pairs are deduplicated (the operator is symmetric up to swapping
     /// left/right); per-pair results are cached keyed by the clause.
@@ -294,6 +294,20 @@ impl DataPolygamy {
         )
     }
 
+    /// Evaluates a batch of queries on one shared worker pool, amortising
+    /// pool startup and deduplicating (pair, clause) evaluations across the
+    /// batch. Returns one result vector per query, in input order; each is
+    /// identical to what [`DataPolygamy::query`] returns for that query.
+    pub fn query_many(&self, queries: &[RelationshipQuery]) -> Result<Vec<Vec<Relationship>>> {
+        run_query_many(
+            self.index()?,
+            &self.geometry,
+            &self.config,
+            &self.cache,
+            queries,
+        )
+    }
+
     /// Number of cached per-pair results (diagnostics/tests).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
@@ -303,9 +317,11 @@ impl DataPolygamy {
 /// Evaluates a relationship query against an index — the read path shared
 /// by [`DataPolygamy::query`] and `polygamy-store`'s serving sessions.
 ///
-/// Pairs are deduplicated (the operator is symmetric up to swapping
-/// left/right); per-pair results are served from `cache` keyed by the
-/// clause fingerprint, evaluated via [`relation`] on a miss.
+/// Planning (name resolution, pair deduplication, cache lookups) happens on
+/// the coordinating thread; cache misses expand into a flat (pair ×
+/// function-unit × class) task list evaluated on one shared worker pool,
+/// with results assembled in canonical task order — byte-identical output
+/// for any worker count (see [`crate::executor`]).
 pub fn run_query(
     index: &PolygamyIndex,
     geometry: &CityGeometry,
@@ -313,65 +329,29 @@ pub fn run_query(
     cache: &QueryCache,
     query: &RelationshipQuery,
 ) -> Result<Vec<Relationship>> {
-    let resolve = |names: &Option<Vec<String>>| -> Result<Vec<usize>> {
-        match names {
-            None => Ok((0..index.datasets.len()).collect()),
-            Some(list) => list.iter().map(|n| index.dataset_index(n)).collect(),
-        }
-    };
-    let left = resolve(&query.left)?;
-    let right = resolve(&query.right)?;
-    let clause_key = query.clause.cache_key();
+    Ok(
+        execute_queries(index, geometry, config, cache, std::slice::from_ref(query))?
+            .pop()
+            .unwrap_or_default(),
+    )
+}
 
-    // All-pairs queries produce exactly n·(n−1)/2 canonical pairs; explicit
-    // collections at most |left|·|right|.
-    let cap = if query.left.is_none() && query.right.is_none() {
-        let n = left.len();
-        n * n.saturating_sub(1) / 2
-    } else {
-        left.len() * right.len()
-    };
-    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(cap);
-    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(cap);
-    for &a in &left {
-        for &b in &right {
-            if a == b {
-                continue;
-            }
-            // Canonicalise so (a, b) and (b, a) share cache entries;
-            // results are reported with the canonical orientation.
-            let pair = (a.min(b), a.max(b));
-            if seen.insert(pair) {
-                pairs.push(pair);
-            }
-        }
-    }
-
-    let mut out = Vec::new();
-    for (a, b) in pairs {
-        let key = (a, b, clause_key);
-        let rels = match cache.get(&key) {
-            Some(r) => r,
-            None => {
-                let r = Arc::new(relation(index, geometry, config, a, b, &query.clause));
-                cache.insert(key, Arc::clone(&r));
-                r
-            }
-        };
-        out.extend(rels.iter().cloned());
-    }
-    // Deterministic presentation: strongest scores first, ties by name.
-    out.sort_by(|x, y| {
-        y.score()
-            .abs()
-            .partial_cmp(&x.score().abs())
-            .expect("scores are finite")
-            .then_with(|| x.left.to_string().cmp(&y.left.to_string()))
-            .then_with(|| x.right.to_string().cmp(&y.right.to_string()))
-            .then_with(|| x.resolution.label().cmp(&y.resolution.label()))
-            .then_with(|| x.class.label().cmp(y.class.label()))
-    });
-    Ok(out)
+/// Evaluates a batch of relationship queries against an index on one shared
+/// worker pool — the batched read path behind [`DataPolygamy::query_many`]
+/// and `polygamy-store`'s `query --batch`.
+///
+/// Returns one result vector per query, in input order; each equals what
+/// [`run_query`] returns for that query alone, but pool startup is paid
+/// once and duplicate (pair, clause) evaluations are shared across the
+/// batch.
+pub fn run_query_many(
+    index: &PolygamyIndex,
+    geometry: &CityGeometry,
+    config: &Config,
+    cache: &QueryCache,
+    queries: &[RelationshipQuery],
+) -> Result<Vec<Vec<Relationship>>> {
+    execute_queries(index, geometry, config, cache, queries)
 }
 
 #[cfg(test)]
@@ -546,6 +526,146 @@ mod tests {
             index.to_json().unwrap(),
             scratch.index().unwrap().to_json().unwrap()
         );
+    }
+
+    /// A constant function: no features at any threshold, degenerate
+    /// thresholds (the non-finite paths through sorting and evaluation).
+    fn constant_dataset(name: &str) -> Dataset {
+        let meta = DatasetMeta {
+            name: name.into(),
+            spatial_resolution: SpatialResolution::City,
+            temporal_resolution: TemporalResolution::Hour,
+            description: String::new(),
+        };
+        let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("x"));
+        for h in 0..300i64 {
+            b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[1.0]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degenerate_constant_pair_queries_do_not_panic() {
+        // Constant functions produce NaN thresholds and empty/degenerate
+        // feature sets; the query path (including the result sort, which
+        // uses total_cmp rather than panicking partial_cmp) must survive
+        // them and stay deterministic.
+        let mut dp = DataPolygamy::new(
+            CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            Config::fast_test(),
+        );
+        dp.add_dataset(constant_dataset("flat1"));
+        dp.add_dataset(constant_dataset("flat2"));
+        dp.add_dataset(tiny_dataset("spiky", 100));
+        dp.build_index();
+        let q = RelationshipQuery::all()
+            .with_clause(Clause::default().permutations(20).include_insignificant());
+        let rels = dp.query(&q).unwrap();
+        // With user thresholds on top of the constant functions as well.
+        let q2 = RelationshipQuery::all().with_clause(
+            Clause::default()
+                .permutations(20)
+                .include_insignificant()
+                .with_thresholds("flat1", 0.5, 1.5),
+        );
+        let rels2 = dp.query(&q2).unwrap();
+        // Deterministic across repeat evaluation (cache on/off paths).
+        assert_eq!(rels, dp.query(&q).unwrap());
+        assert_eq!(rels2, dp.query(&q2).unwrap());
+    }
+
+    #[test]
+    fn query_many_matches_sequential_queries() {
+        let build = || {
+            let mut dp = DataPolygamy::new(
+                CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+                Config::fast_test(),
+            );
+            dp.add_dataset(tiny_dataset("a", 100));
+            dp.add_dataset(tiny_dataset("b", 100));
+            dp.add_dataset(tiny_dataset("c", 50));
+            dp.build_index();
+            dp
+        };
+        let clause = Clause::default().permutations(40).include_insignificant();
+        let queries = vec![
+            RelationshipQuery::between(&["a"], &["b"]).with_clause(clause.clone()),
+            RelationshipQuery::all().with_clause(clause.clone()),
+            // Duplicate of the first: shares its evaluation in the batch.
+            RelationshipQuery::between(&["b"], &["a"]).with_clause(clause),
+        ];
+        let batched = build().query_many(&queries).unwrap();
+        let sequential = build();
+        for (q, batch_result) in queries.iter().zip(&batched) {
+            assert_eq!(batch_result, &sequential.query(q).unwrap());
+        }
+        assert_eq!(batched[0], batched[2]);
+        // The whole batch evaluated exactly the 3 canonical pairs once.
+        let dp = build();
+        dp.query_many(&queries).unwrap();
+        assert_eq!(dp.cache_len(), 3);
+    }
+
+    #[test]
+    fn missing_geometry_is_a_typed_error() {
+        use crate::function::FunctionSpec;
+        use polygamy_stdata::Resolution;
+        use polygamy_topology::{FeatureSet, FeatureSets, SeasonalThresholds, Thresholds};
+
+        // Hand-craft an index that claims zip-resolution functions against
+        // a geometry that only has the city partition — the shape of a
+        // store file whose geometry blob lost a partition its segments
+        // need.
+        let entry = |di: usize, name: &str| {
+            let (n_regions, n_steps) = (2, 4);
+            FunctionEntry {
+                spec: FunctionSpec::density(name),
+                dataset_index: di,
+                resolution: Resolution::new(SpatialResolution::Zip, TemporalResolution::Hour),
+                n_regions,
+                start_bucket: 0,
+                n_steps,
+                features: FeatureSets {
+                    salient: FeatureSet::empty(n_regions * n_steps),
+                    extreme: FeatureSet::empty(n_regions * n_steps),
+                },
+                thresholds: SeasonalThresholds {
+                    interval_of_step: vec![0; n_steps],
+                    interval_ids: vec![0],
+                    per_interval: vec![Thresholds::none()],
+                },
+                field: None,
+                tree_nodes: 0,
+            }
+        };
+        let catalog = |name: &str| DatasetEntry {
+            meta: polygamy_stdata::DatasetMeta {
+                name: name.into(),
+                spatial_resolution: SpatialResolution::Zip,
+                temporal_resolution: TemporalResolution::Hour,
+                description: String::new(),
+            },
+            n_records: 4,
+            raw_bytes: 64,
+            n_specs: 1,
+        };
+        let index = PolygamyIndex {
+            datasets: vec![catalog("a"), catalog("b")],
+            functions: vec![entry(0, "a"), entry(1, "b")],
+        };
+        let err = run_query(
+            &index,
+            &CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+            &Config::fast_test(),
+            &QueryCache::new(16),
+            &RelationshipQuery::all(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::MissingGeometry(SpatialResolution::Zip)
+        ));
+        assert!(err.to_string().contains("zip"));
     }
 
     #[test]

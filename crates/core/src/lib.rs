@@ -34,6 +34,7 @@
 
 pub mod cache;
 pub mod error;
+mod executor;
 pub mod framework;
 pub mod function;
 pub mod index;
@@ -45,7 +46,7 @@ pub mod significance;
 
 pub use cache::{Fnv1a, QueryCache, ShardedLruCache};
 pub use error::{Error, Result};
-pub use framework::{index_dataset, run_query, CityGeometry, Config, DataPolygamy};
+pub use framework::{index_dataset, run_query, run_query_many, CityGeometry, Config, DataPolygamy};
 pub use function::{FunctionRef, FunctionSpec};
 pub use index::{DatasetEntry, FunctionEntry, IndexStats, PolygamyIndex};
 pub use operator::relation;

@@ -2,29 +2,112 @@
 //!
 //! For two data sets with `n` and `m` indexed functions there are `n × m`
 //! candidate relationships per common resolution per feature class. The
-//! operator evaluates all of them over the precomputed feature sets,
-//! applies the clause pre-filter, and keeps only pairs whose score survives
-//! the restricted Monte Carlo significance test.
+//! operator expands all of them into [`UnitTask`]s — one (function pair,
+//! class) evaluation each — which the flat executor ([`crate::executor`])
+//! schedules on a single shared worker pool. Each task applies the clause
+//! pre-filter and keeps the candidate only if its score survives the
+//! restricted Monte Carlo significance test.
+//!
+//! Monte Carlo seeds are derived per task with an explicit FNV-1a over a
+//! fully framed byte stream, so significance verdicts are reproducible
+//! across machines, toolchains and worker counts (`std`'s `DefaultHasher`
+//! is documented to change between releases and must never seed a
+//! hypothesis test).
 
+use crate::cache::Fnv1a;
+use crate::error::{Error, Result};
+use crate::executor::task_chunk_size;
 use crate::framework::{CityGeometry, Config};
 use crate::function::FunctionRef;
 use crate::index::{FunctionEntry, PolygamyIndex};
 use crate::query::Clause;
 use crate::relationship::{evaluate_features, Relationship};
 use crate::significance::significance_test;
-use polygamy_mapreduce::par_map;
+use polygamy_mapreduce::run_chunked_tasks;
 use polygamy_stats::permutation::MonteCarlo;
 use polygamy_topology::{
     sub_level_set, super_level_set, DomainGraph, FeatureClass, FeatureSet, MergeTree,
 };
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 
-/// Evaluates `relation(D1, D2)` over the index.
+/// One schedulable unit of relationship evaluation: a (left, right)
+/// function pair at their shared resolution, for one feature class.
+///
+/// Tasks are self-contained — every input is resolved at expansion time on
+/// the coordinating thread — so workers evaluate them in any order while
+/// the executor assembles results in canonical task order.
+#[derive(Clone, Copy)]
+pub(crate) struct UnitTask<'a> {
+    /// Left function entry.
+    pub(crate) e1: &'a FunctionEntry,
+    /// Right function entry (same resolution as `e1`).
+    pub(crate) e2: &'a FunctionEntry,
+    /// Feature class this task evaluates.
+    pub(crate) class: FeatureClass,
+    /// The query clause (pre-filters, permutation setup, thresholds).
+    pub(crate) clause: &'a Clause,
+    /// Region adjacency of the shared spatial resolution.
+    pub(crate) adjacency: &'a [Vec<u32>],
+}
+
+/// Expands `relation(d1, d2)` under `clause` into unit tasks, appended to
+/// `out` in canonical order: left entries in index order, right entries in
+/// index order, classes in [`FeatureClass::ALL`] order.
+///
+/// Geometry is validated here, on the coordinating thread: an indexed
+/// resolution with no geometry partition is a typed
+/// [`Error::MissingGeometry`], never a worker panic.
+pub(crate) fn expand_pair_tasks<'a>(
+    index: &'a PolygamyIndex,
+    geometry: &'a CityGeometry,
+    d1: usize,
+    d2: usize,
+    clause: &'a Clause,
+    out: &mut Vec<UnitTask<'a>>,
+) -> Result<()> {
+    for e1 in index.functions_of(d1) {
+        if !clause.admits_resolution(e1.resolution) {
+            continue;
+        }
+        for e2 in index.functions_of(d2) {
+            if e1.resolution != e2.resolution || e1.overlap(e2).is_none() {
+                continue;
+            }
+            let adjacency = geometry
+                .adjacency(e1.resolution.spatial)
+                .ok_or(Error::MissingGeometry(e1.resolution.spatial))?;
+            // User-defined thresholds replace the salient features of the
+            // named data set's functions and suppress the extreme class for
+            // the pair (a single threshold pair defines a single feature
+            // set).
+            let overridden =
+                has_threshold_override(e1, clause) || has_threshold_override(e2, clause);
+            for class in FeatureClass::ALL {
+                if !clause.admits_class(class) {
+                    continue;
+                }
+                if overridden && class == FeatureClass::Extreme {
+                    continue;
+                }
+                out.push(UnitTask {
+                    e1,
+                    e2,
+                    class,
+                    clause,
+                    adjacency,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates `relation(D1, D2)` over the index on one worker pool.
 ///
 /// `d1`/`d2` are dataset indices; the returned relationships are those that
 /// satisfy `clause` (and, unless the clause says otherwise, pass the
-/// significance test).
+/// significance test). This is the single-pair convenience entry point —
+/// query evaluation goes through the flat executor, which schedules many
+/// pairs on one pool.
 pub fn relation(
     index: &PolygamyIndex,
     geometry: &CityGeometry,
@@ -32,99 +115,81 @@ pub fn relation(
     d1: usize,
     d2: usize,
     clause: &Clause,
-) -> Vec<Relationship> {
-    let left_entries: Vec<&FunctionEntry> = index.functions_of(d1).collect();
-    let right_entries: Vec<&FunctionEntry> = index.functions_of(d2).collect();
-    let mut units: Vec<(&FunctionEntry, &FunctionEntry)> = Vec::new();
-    for &e1 in &left_entries {
-        if !clause.admits_resolution(e1.resolution) {
-            continue;
-        }
-        for &e2 in &right_entries {
-            if e1.resolution == e2.resolution {
-                units.push((e1, e2));
-            }
-        }
-    }
-    let results: Vec<Vec<Relationship>> = par_map(config.cluster, units, |(e1, e2)| {
-        evaluate_pair(e1, e2, geometry, config, clause)
-    });
-    results.into_iter().flatten().collect()
+) -> Result<Vec<Relationship>> {
+    let mut tasks = Vec::new();
+    expand_pair_tasks(index, geometry, d1, d2, clause, &mut tasks)?;
+    let workers = config.cluster.workers();
+    let results = run_chunked_tasks(
+        workers,
+        tasks.len(),
+        task_chunk_size(tasks.len(), workers),
+        |i| evaluate_unit(&tasks[i], config),
+    );
+    Ok(results.into_iter().flatten().collect())
 }
 
-/// Evaluates one function pair at one (shared) resolution for both feature
-/// classes.
-fn evaluate_pair(
-    e1: &FunctionEntry,
-    e2: &FunctionEntry,
-    geometry: &CityGeometry,
-    config: &Config,
-    clause: &Clause,
-) -> Vec<Relationship> {
-    let Some((start, len)) = e1.overlap(e2) else {
-        return Vec::new();
-    };
+/// Evaluates one unit task. Pure: the result depends only on the task and
+/// `config`, never on scheduling, which is what makes the flat executor's
+/// output worker-count-independent.
+pub(crate) fn evaluate_unit(task: &UnitTask<'_>, config: &Config) -> Option<Relationship> {
+    let UnitTask {
+        e1,
+        e2,
+        class,
+        clause,
+        adjacency,
+    } = *task;
+    let (start, len) = e1.overlap(e2)?;
     let (lo1, hi1) = e1.vertex_range(start, len);
     let (lo2, hi2) = e2.vertex_range(start, len);
-    let adjacency = geometry
-        .adjacency(e1.resolution.spatial)
-        .expect("indexed resolutions have geometry");
     let mc = MonteCarlo {
         permutations: clause.permutations,
         alpha: clause.alpha,
         ..MonteCarlo::default()
     };
     let scheme = clause.scheme.unwrap_or(config.scheme);
-
-    // User-defined thresholds replace the salient features of the named
-    // data set's functions (and suppress the extreme class for them, since
-    // a single threshold pair defines a single feature set).
-    let override1 = custom_features(e1, clause);
-    let override2 = custom_features(e2, clause);
-    let overridden = override1.is_some() || override2.is_some();
-
-    let mut out = Vec::new();
-    for class in FeatureClass::ALL {
-        if !clause.admits_class(class) {
-            continue;
-        }
-        if overridden && class == FeatureClass::Extreme {
-            continue;
-        }
-        let f1 = match &override1 {
-            Some(fs) => fs.slice(lo1, hi1),
-            None => e1.features.class(class).slice(lo1, hi1),
-        };
-        let f2 = match &override2 {
-            Some(fs) => fs.slice(lo2, hi2),
-            None => e2.features.class(class).slice(lo2, hi2),
-        };
-        let measures = evaluate_features(&f1, &f2);
-        if measures.related_count() == 0 {
-            continue;
-        }
-        // Clause pre-filter: skip the expensive significance test when the
-        // clause already rejects the candidate (paper Section 6.1).
-        if measures.score.abs() < clause.min_score || measures.strength < clause.min_strength {
-            continue;
-        }
-        let seed = pair_seed(config.seed, e1, e2, class);
-        let p = significance_test(&f1, &f2, adjacency, len, measures.score, &mc, scheme, seed);
-        let significant = mc.is_significant(p);
-        if clause.significant_only && !significant {
-            continue;
-        }
-        out.push(Relationship {
-            left: FunctionRef::from(&e1.spec),
-            right: FunctionRef::from(&e2.spec),
-            resolution: e1.resolution,
-            class,
-            measures,
-            p_value: p,
-            significant,
-        });
+    let f1 = match custom_features(e1, clause) {
+        Some(fs) => fs.slice(lo1, hi1),
+        None => e1.features.class(class).slice(lo1, hi1),
+    };
+    let f2 = match custom_features(e2, clause) {
+        Some(fs) => fs.slice(lo2, hi2),
+        None => e2.features.class(class).slice(lo2, hi2),
+    };
+    let measures = evaluate_features(&f1, &f2);
+    if measures.related_count() == 0 {
+        return None;
     }
-    out
+    // Clause pre-filter: skip the expensive significance test when the
+    // clause already rejects the candidate (paper Section 6.1).
+    if measures.score.abs() < clause.min_score || measures.strength < clause.min_strength {
+        return None;
+    }
+    let seed = pair_seed(config.seed, e1, e2, class);
+    let p = significance_test(&f1, &f2, adjacency, len, measures.score, &mc, scheme, seed);
+    let significant = mc.is_significant(p);
+    if clause.significant_only && !significant {
+        return None;
+    }
+    Some(Relationship {
+        left: FunctionRef::from(&e1.spec),
+        right: FunctionRef::from(&e2.spec),
+        resolution: e1.resolution,
+        class,
+        measures,
+        p_value: p,
+        significant,
+    })
+}
+
+/// True when `clause` carries user thresholds that will replace this
+/// entry's precomputed features (requires the stored field).
+fn has_threshold_override(entry: &FunctionEntry, clause: &Clause) -> bool {
+    entry.field.is_some()
+        && clause
+            .thresholds
+            .iter()
+            .any(|t| t.dataset == entry.spec.dataset)
 }
 
 /// Recomputes a function's features from user-supplied thresholds using the
@@ -159,25 +224,41 @@ fn custom_features(entry: &FunctionEntry, clause: &Clause) -> Option<FeatureSet>
     })
 }
 
+/// Derives the Monte Carlo seed for one (function pair, class) unit.
+///
+/// Seeds decide which permutations the significance test draws, so they
+/// must be *stable*: the same query must reach the same verdict on every
+/// machine, toolchain and worker count. The derivation is an explicit
+/// FNV-1a over a fully framed byte stream (length-prefixed strings, stable
+/// resolution wire codes) — the same scheme `Clause::cache_key` uses — and
+/// is pinned by the `seed_format_pinned` regression test.
 fn pair_seed(base: u64, e1: &FunctionEntry, e2: &FunctionEntry, class: FeatureClass) -> u64 {
-    let mut h = DefaultHasher::new();
-    base.hash(&mut h);
-    e1.spec.dataset.hash(&mut h);
-    e1.spec.name.hash(&mut h);
-    e2.spec.dataset.hash(&mut h);
-    e2.spec.name.hash(&mut h);
-    e1.resolution.label().hash(&mut h);
-    class.label().hash(&mut h);
+    let mut h = Fnv1a::new();
+    h.write_u64(base);
+    h.write_str(&e1.spec.dataset);
+    h.write_str(&e1.spec.name);
+    h.write_str(&e2.spec.dataset);
+    h.write_str(&e2.spec.name);
+    h.write_u8(e1.resolution.spatial.code());
+    h.write_u8(e1.resolution.temporal.code());
+    h.write_u8(match class {
+        FeatureClass::Salient => 1,
+        FeatureClass::Extreme => 2,
+    });
     h.finish()
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::framework::{CityGeometry, Config, DataPolygamy};
+    use crate::function::FunctionSpec;
     use crate::query::Clause;
     use polygamy_stdata::{
-        AttributeMeta, DatasetBuilder, DatasetMeta, GeoPoint, SpatialResolution, TemporalResolution,
+        AttributeMeta, DatasetBuilder, DatasetMeta, GeoPoint, Resolution, SpatialResolution,
+        TemporalResolution,
     };
+    use polygamy_topology::{FeatureSets, SeasonalThresholds, Thresholds};
 
     /// Two city-resolution hourly data sets with attribute spikes at the
     /// same instants (strong positive relationship) plus an unrelated flat
@@ -289,5 +370,68 @@ mod tests {
             "expected no features above 1e12, got {} rels",
             rels.len()
         );
+    }
+
+    fn seed_entry(dataset: &str, function: &str) -> FunctionEntry {
+        let steps = 4;
+        let mut spec = FunctionSpec::density(dataset);
+        spec.name = function.to_string();
+        FunctionEntry {
+            spec,
+            dataset_index: 0,
+            resolution: Resolution::new(SpatialResolution::City, TemporalResolution::Hour),
+            n_regions: 1,
+            start_bucket: 0,
+            n_steps: steps,
+            features: FeatureSets {
+                salient: FeatureSet::empty(steps),
+                extreme: FeatureSet::empty(steps),
+            },
+            thresholds: SeasonalThresholds {
+                interval_of_step: vec![0; steps],
+                interval_ids: vec![0],
+                per_interval: vec![Thresholds::none()],
+            },
+            field: None,
+            tree_nodes: 0,
+        }
+    }
+
+    #[test]
+    fn seed_format_pinned() {
+        // Permutation seeds feed published significance verdicts, so the
+        // derivation is pinned the same way `Clause::cache_key` is: if this
+        // assertion fires, the seed scheme changed and previously reported
+        // p-values are no longer reproducible — that is a breaking change
+        // and must be called out, not slipped in.
+        let taxi = seed_entry("taxi", "density");
+        let wind = seed_entry("weather", "avg(wind)");
+        assert_eq!(
+            pair_seed(0xDA7A_9A17, &taxi, &wind, FeatureClass::Salient),
+            0xebdc_d204_d13e_7ce2
+        );
+        assert_eq!(
+            pair_seed(0xDA7A_9A17, &taxi, &wind, FeatureClass::Extreme),
+            0xebdc_d104_d13e_7b2f
+        );
+        assert_eq!(
+            pair_seed(7, &taxi, &wind, FeatureClass::Salient),
+            0xb197_9dce_0287_7080
+        );
+    }
+
+    #[test]
+    fn seeds_distinguish_units() {
+        let taxi = seed_entry("taxi", "density");
+        let wind = seed_entry("weather", "avg(wind)");
+        let base = 1;
+        let s = pair_seed(base, &taxi, &wind, FeatureClass::Salient);
+        // Class, orientation, base seed and resolution all change the seed.
+        assert_ne!(s, pair_seed(base, &taxi, &wind, FeatureClass::Extreme));
+        assert_ne!(s, pair_seed(base, &wind, &taxi, FeatureClass::Salient));
+        assert_ne!(s, pair_seed(base + 1, &taxi, &wind, FeatureClass::Salient));
+        let mut daily = seed_entry("taxi", "density");
+        daily.resolution = Resolution::new(SpatialResolution::City, TemporalResolution::Day);
+        assert_ne!(s, pair_seed(base, &daily, &wind, FeatureClass::Salient));
     }
 }

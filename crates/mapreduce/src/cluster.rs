@@ -32,12 +32,25 @@ impl Cluster {
         Self::new(1, workers)
     }
 
-    /// Uses every core the host offers.
+    /// Uses every core the host offers, unless the `POLYGAMY_WORKERS`
+    /// environment variable forces a specific count (CI runs the suite
+    /// under forced worker counts to prove results are worker-independent).
     pub fn host() -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self::new(1, cores)
+        Self::new(
+            1,
+            Self::forced_workers(std::env::var("POLYGAMY_WORKERS").ok()).unwrap_or(cores),
+        )
+    }
+
+    /// Parses a `POLYGAMY_WORKERS` override; unset, empty or unparsable
+    /// values mean "no override".
+    fn forced_workers(var: Option<String>) -> Option<usize> {
+        var.as_deref()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
     }
 
     /// Total parallel task slots.
@@ -66,5 +79,16 @@ mod tests {
     #[test]
     fn zero_clamped() {
         assert_eq!(Cluster::new(0, 0).workers(), 1);
+    }
+
+    #[test]
+    fn forced_worker_parsing() {
+        // Parsed without mutating the process environment (other tests run
+        // concurrently and must not see a forced count).
+        assert_eq!(Cluster::forced_workers(Some("4".into())), Some(4));
+        assert_eq!(Cluster::forced_workers(Some(" 2 ".into())), Some(2));
+        assert_eq!(Cluster::forced_workers(Some("0".into())), None);
+        assert_eq!(Cluster::forced_workers(Some("lots".into())), None);
+        assert_eq!(Cluster::forced_workers(None), None);
     }
 }

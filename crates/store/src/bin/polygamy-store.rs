@@ -6,6 +6,8 @@
 //! polygamy-store inspect <path>
 //! polygamy-store query <path> <left> <right> [--permutations N]
 //!                [--min-score X] [--include-insignificant]
+//! polygamy-store query <path> --batch <left:right>... [--permutations N]
+//!                [--min-score X] [--include-insignificant]
 //! ```
 //!
 //! `--no-fields` drops the raw scalar fields from the index (features and
@@ -15,7 +17,10 @@
 //! `build` indexes the synthetic urban corpus from `polygamy_datagen` and
 //! writes it as a store; `inspect` prints the header, catalog and segment
 //! directory without decoding any segment; `query` opens a serving session
-//! and evaluates one relationship query.
+//! and evaluates one relationship query — or, with `--batch`, a whole list
+//! of `left:right` pairs through `StoreSession::query_many`, which runs
+//! every pair's candidate evaluations on one shared worker pool instead of
+//! paying session and pool startup per query.
 
 use polygamy_core::prelude::*;
 use polygamy_core::DataPolygamy;
@@ -35,6 +40,8 @@ fn main() -> ExitCode {
                  \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields]\n\
                  \x20 inspect <path>\n\
                  \x20 query <path> <left> <right> [--permutations N] \
+                 [--min-score X] [--include-insignificant]\n\
+                 \x20 query <path> --batch <left:right>... [--permutations N] \
                  [--min-score X] [--include-insignificant]"
             );
             return ExitCode::FAILURE;
@@ -151,10 +158,13 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The query flags that consume a value — the single source of truth for
+/// both clause parsing and positional-argument scanning, so adding a flag
+/// here keeps its value from being misread as a data set name.
+const QUERY_VALUE_FLAGS: [&str; 2] = ["--permutations", "--min-score"];
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("query: missing <path>")?;
-    let left = args.get(1).ok_or("query: missing <left> data set")?;
-    let right = args.get(2).ok_or("query: missing <right> data set")?;
     let mut clause = Clause::default();
     if let Some(p) = flag_value(args, "--permutations") {
         clause = clause.permutations(
@@ -171,12 +181,63 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--include-insignificant") {
         clause = clause.include_insignificant();
     }
+    let positionals = positional_args(&args[1..]);
+
+    let pairs: Vec<(String, String)> = if args.iter().any(|a| a == "--batch") {
+        if positionals.is_empty() {
+            return Err("query: --batch expects one or more <left:right> pairs".into());
+        }
+        positionals
+            .iter()
+            .map(|spec| {
+                spec.split_once(':')
+                    .map(|(l, r)| (l.to_string(), r.to_string()))
+                    .filter(|(l, r)| !l.is_empty() && !r.is_empty())
+                    .ok_or_else(|| format!("query: --batch pair '{spec}' is not <left:right>"))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let left = positionals
+            .first()
+            .ok_or("query: missing <left> data set")?;
+        let right = positionals
+            .get(1)
+            .ok_or("query: missing <right> data set")?;
+        vec![(left.to_string(), right.to_string())]
+    };
+
     let session = StoreSession::open(path).map_err(|e| e.to_string())?;
-    let query = RelationshipQuery::between(&[left.as_str()], &[right.as_str()]).with_clause(clause);
-    let rels = session.query(&query).map_err(|e| e.to_string())?;
-    println!("{} relationship(s) between {left} and {right}:", rels.len());
-    for rel in &rels {
-        println!("  {rel}");
+    let queries: Vec<RelationshipQuery> = pairs
+        .iter()
+        .map(|(l, r)| {
+            RelationshipQuery::between(&[l.as_str()], &[r.as_str()]).with_clause(clause.clone())
+        })
+        .collect();
+    // One query_many call: the whole batch shares a single worker pool.
+    let results = session.query_many(&queries).map_err(|e| e.to_string())?;
+    for ((left, right), rels) in pairs.iter().zip(&results) {
+        println!("{} relationship(s) between {left} and {right}:", rels.len());
+        for rel in rels {
+            println!("  {rel}");
+        }
     }
     Ok(())
+}
+
+/// The non-flag arguments, with each [`QUERY_VALUE_FLAGS`] value skipped.
+fn positional_args(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if QUERY_VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_value = true;
+        } else if !arg.starts_with("--") {
+            out.push(arg);
+        }
+    }
+    out
 }

@@ -18,7 +18,7 @@ use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
 use polygamy_core::index::PolygamyIndex;
 use polygamy_core::query::RelationshipQuery;
 use polygamy_core::relationship::Relationship;
-use polygamy_core::{run_query, CityGeometry, Config};
+use polygamy_core::{run_query, run_query_many, CityGeometry, Config};
 use std::path::Path;
 
 /// A read-only serving session: geometry + materialized index + query
@@ -78,6 +78,28 @@ impl StoreSession {
             &self.config,
             &self.cache,
             &query,
+        )
+        .map_err(Into::into)
+    }
+
+    /// Evaluates a batch of queries on one shared worker pool (the flat
+    /// executor), amortising pool startup across the batch — the serving
+    /// path behind `polygamy-store query --batch`.
+    ///
+    /// Returns one result vector per query, in input order; each equals
+    /// what [`StoreSession::query`] returns for that query alone, subject
+    /// to the same load-filter scoping rules.
+    pub fn query_many(&self, queries: &[RelationshipQuery]) -> Result<Vec<Vec<Relationship>>> {
+        let scoped = queries
+            .iter()
+            .map(|q| self.scope_to_loaded(q))
+            .collect::<Result<Vec<_>>>()?;
+        run_query_many(
+            &self.index,
+            &self.geometry,
+            &self.config,
+            &self.cache,
+            &scoped,
         )
         .map_err(Into::into)
     }

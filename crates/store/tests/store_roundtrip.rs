@@ -322,6 +322,107 @@ fn corruption_yields_typed_errors() {
 }
 
 #[test]
+fn session_query_many_matches_single_queries() {
+    let path = tmp_path("query-many");
+    let _cleanup = Cleanup(path.clone());
+    let dp = build_framework(&corpus());
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+    let queries = vec![
+        RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(test_clause()),
+        RelationshipQuery::all().with_clause(test_clause()),
+        RelationshipQuery::of("gamma").with_clause(test_clause()),
+    ];
+
+    let batch_session =
+        StoreSession::open_with(&path, Config::fast_test(), &LoadFilter::all()).unwrap();
+    let batched = batch_session.query_many(&queries).unwrap();
+    assert_eq!(batched.len(), queries.len());
+    // The batch evaluated each canonical pair exactly once.
+    assert_eq!(batch_session.cache_len(), 3);
+
+    let single_session =
+        StoreSession::open_with(&path, Config::fast_test(), &LoadFilter::all()).unwrap();
+    for (q, batch_result) in queries.iter().zip(&batched) {
+        assert_eq!(batch_result, &single_session.query(q).unwrap());
+    }
+
+    // Load-filter scoping applies per batched query too.
+    let filtered = StoreSession::open_with(
+        &path,
+        Config::fast_test(),
+        &LoadFilter::all().datasets(&["alpha", "gamma"]),
+    )
+    .unwrap();
+    assert!(matches!(
+        filtered.query_many(&queries),
+        Err(StoreError::DatasetNotLoaded(name)) if name == "beta"
+    ));
+}
+
+#[test]
+fn geometry_missing_an_indexed_resolution_is_a_typed_error() {
+    use polygamy_core::function::FunctionSpec;
+    use polygamy_core::index::{DatasetEntry, FunctionEntry, PolygamyIndex};
+    use polygamy_topology::{FeatureSet, FeatureSets, SeasonalThresholds, Thresholds};
+
+    let path = tmp_path("missing-geometry");
+    let _cleanup = Cleanup(path.clone());
+    // A store whose segments sit at zip resolution while its geometry blob
+    // only carries the city partition (Store::save trusts its caller, so a
+    // mismatched pair of artifacts can reach disk).
+    let entry = |di: usize, name: &str| {
+        let (n_regions, n_steps) = (2usize, 4usize);
+        FunctionEntry {
+            spec: FunctionSpec::density(name),
+            dataset_index: di,
+            resolution: Resolution::new(SpatialResolution::Zip, TemporalResolution::Hour),
+            n_regions,
+            start_bucket: 0,
+            n_steps,
+            features: FeatureSets {
+                salient: FeatureSet::empty(n_regions * n_steps),
+                extreme: FeatureSet::empty(n_regions * n_steps),
+            },
+            thresholds: SeasonalThresholds {
+                interval_of_step: vec![0; n_steps],
+                interval_ids: vec![0],
+                per_interval: vec![Thresholds::none()],
+            },
+            field: None,
+            tree_nodes: 0,
+        }
+    };
+    let catalog = |name: &str| DatasetEntry {
+        meta: DatasetMeta {
+            name: name.into(),
+            spatial_resolution: SpatialResolution::Zip,
+            temporal_resolution: TemporalResolution::Hour,
+            description: String::new(),
+        },
+        n_records: 4,
+        raw_bytes: 64,
+        n_specs: 1,
+    };
+    let index = PolygamyIndex {
+        datasets: vec![catalog("a"), catalog("b")],
+        functions: vec![entry(0, "a"), entry(1, "b")],
+    };
+    Store::save(&path, &CityGeometry::city_only(0.0, 0.0, 1.0, 1.0), &index).unwrap();
+
+    let session = StoreSession::open_with(&path, Config::fast_test(), &LoadFilter::all()).unwrap();
+    let err = session
+        .query(&RelationshipQuery::all().with_clause(test_clause()))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        StoreError::Query(polygamy_core::Error::MissingGeometry(
+            SpatialResolution::Zip
+        ))
+    ));
+    assert!(err.to_string().contains("zip"), "{err}");
+}
+
+#[test]
 fn one_session_serves_concurrent_readers() {
     let path = tmp_path("concurrent");
     let _cleanup = Cleanup(path.clone());

@@ -1,0 +1,199 @@
+//! Determinism matrix for the flat query executor.
+//!
+//! The PR's core guarantee: query results are **byte-identical** for any
+//! worker count — `Cluster::local(1)`, `local(2)`, …, `Cluster::host()` —
+//! on both the in-memory framework and a persistent `StoreSession`, for
+//! both `query` and `query_many`. Tasks carry their own FNV-derived Monte
+//! Carlo seeds and results are assembled in canonical task order, so
+//! scheduling can never leak into significance verdicts. Byte-identity is
+//! checked on the serialized JSON, not just `PartialEq`, so even the bit
+//! patterns of scores and p-values must agree.
+
+use polygamy_core::prelude::*;
+use polygamy_core::DataPolygamy;
+use polygamy_mapreduce::Cluster;
+use polygamy_store::{LoadFilter, Store, StoreSession};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "polygamy-determinism-test-{}-{tag}.plst",
+        std::process::id()
+    ))
+}
+
+/// Removes the file when dropped, so failures don't litter the temp dir.
+struct Cleanup(PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn config_with(cluster: Cluster) -> Config {
+    Config {
+        cluster,
+        ..Config::fast_test()
+    }
+}
+
+/// The worker-count matrix every result must be invariant over.
+fn worker_matrix() -> Vec<Cluster> {
+    vec![Cluster::local(1), Cluster::local(2), Cluster::host()]
+}
+
+fn spiky_dataset(name: &str, level: f64, bump_at: i64) -> Dataset {
+    let meta = DatasetMeta {
+        name: name.into(),
+        spatial_resolution: SpatialResolution::City,
+        temporal_resolution: TemporalResolution::Hour,
+        description: String::new(),
+    };
+    let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("signal"));
+    for h in 0..400i64 {
+        let v = if h == bump_at || h == bump_at + 61 {
+            40.0
+        } else {
+            level + (h % 24) as f64 * 0.05
+        };
+        b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v])
+            .expect("schema matches");
+    }
+    b.build().expect("dataset builds")
+}
+
+fn build_framework(datasets: &[Dataset], cluster: Cluster) -> DataPolygamy {
+    let mut dp = DataPolygamy::new(
+        CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+        config_with(cluster),
+    );
+    for d in datasets {
+        dp.add_dataset(d.clone());
+    }
+    dp.build_index();
+    dp
+}
+
+fn test_queries() -> Vec<RelationshipQuery> {
+    let clause = Clause::default().permutations(40).include_insignificant();
+    vec![
+        RelationshipQuery::all().with_clause(clause.clone()),
+        RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(clause.clone()),
+        RelationshipQuery::of("gamma").with_clause(clause),
+    ]
+}
+
+fn json(rels: &[Relationship]) -> String {
+    serde_json::to_string(rels).expect("relationships serialize")
+}
+
+#[test]
+fn framework_results_identical_across_worker_counts() {
+    let datasets = vec![
+        spiky_dataset("alpha", 1.0, 100),
+        spiky_dataset("beta", -2.0, 100),
+        spiky_dataset("gamma", 0.5, 222),
+    ];
+    let queries = test_queries();
+    let reference: Vec<String> = {
+        let dp = build_framework(&datasets, Cluster::local(1));
+        queries
+            .iter()
+            .map(|q| json(&dp.query(q).unwrap()))
+            .collect()
+    };
+    assert!(
+        reference.iter().any(|j| j != "[]"),
+        "matrix must be non-trivial"
+    );
+    for cluster in worker_matrix() {
+        // query: one at a time, fresh framework (cold caches).
+        let dp = build_framework(&datasets, cluster);
+        for (q, expect) in queries.iter().zip(&reference) {
+            assert_eq!(&json(&dp.query(q).unwrap()), expect, "query @ {cluster:?}");
+        }
+        // query_many: whole batch on one pool, fresh framework again.
+        let dp = build_framework(&datasets, cluster);
+        let batched = dp.query_many(&queries).unwrap();
+        for (rels, expect) in batched.iter().zip(&reference) {
+            assert_eq!(&json(rels), expect, "query_many @ {cluster:?}");
+        }
+    }
+}
+
+#[test]
+fn store_session_results_identical_across_worker_counts() {
+    let path = tmp_path("matrix");
+    let _cleanup = Cleanup(path.clone());
+    let datasets = vec![
+        spiky_dataset("alpha", 1.0, 100),
+        spiky_dataset("beta", -2.0, 100),
+        spiky_dataset("gamma", 0.5, 222),
+    ];
+    let dp = build_framework(&datasets, Cluster::local(1));
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+
+    let queries = test_queries();
+    let reference: Vec<String> = queries
+        .iter()
+        .map(|q| json(&dp.query(q).unwrap()))
+        .collect();
+    for cluster in worker_matrix() {
+        let session =
+            StoreSession::open_with(&path, config_with(cluster), &LoadFilter::all()).unwrap();
+        for (q, expect) in queries.iter().zip(&reference) {
+            assert_eq!(&json(&session.query(q).unwrap()), expect, "@ {cluster:?}");
+        }
+        // A fresh session for the batched path (cold cache again).
+        let session =
+            StoreSession::open_with(&path, config_with(cluster), &LoadFilter::all()).unwrap();
+        let batched = session.query_many(&queries).unwrap();
+        for (rels, expect) in batched.iter().zip(&reference) {
+            assert_eq!(&json(rels), expect, "query_many @ {cluster:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small corpora: for arbitrary data set collections, query and
+    /// query_many results are identical at 1, 2 and host workers, in
+    /// memory and through a store session.
+    #[test]
+    fn random_corpora_are_worker_count_invariant(
+        bumps in prop::collection::vec(10i64..350, 2..5)
+    ) {
+        let datasets: Vec<Dataset> = bumps
+            .iter()
+            .enumerate()
+            .map(|(i, &bump)| spiky_dataset(&format!("d{i}"), (bump % 4) as f64 - 1.5, bump))
+            .collect();
+        let clause = Clause::default().permutations(30).include_insignificant();
+        let query = RelationshipQuery::all().with_clause(clause);
+
+        let reference = {
+            let dp = build_framework(&datasets, Cluster::local(1));
+            json(&dp.query(&query).unwrap())
+        };
+        for cluster in worker_matrix() {
+            let dp = build_framework(&datasets, cluster);
+            prop_assert_eq!(&json(&dp.query(&query).unwrap()), &reference);
+            let batched = dp.query_many(std::slice::from_ref(&query)).unwrap();
+            prop_assert_eq!(&json(&batched[0]), &reference);
+        }
+
+        // And through the persistent store.
+        let path = tmp_path(&format!("prop-{}", bumps.len()));
+        let _cleanup = Cleanup(path.clone());
+        let dp = build_framework(&datasets, Cluster::local(1));
+        Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+        for cluster in worker_matrix() {
+            let session =
+                StoreSession::open_with(&path, config_with(cluster), &LoadFilter::all()).unwrap();
+            prop_assert_eq!(&json(&session.query(&query).unwrap()), &reference);
+        }
+    }
+}

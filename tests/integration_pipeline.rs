@@ -56,18 +56,33 @@ fn correctness_year_over_year_taxi_density() {
     dp.add_dataset(d2_shifted);
     dp.build_index();
     let rels = dp
-        .query(&RelationshipQuery::all().with_clause(Clause::default().permutations(150)))
+        .query(
+            &RelationshipQuery::all()
+                .with_clause(Clause::default().permutations(150).include_insignificant()),
+        )
         .unwrap();
-    let densities = rels
+    // The paper's two claims, asserted separately: the year-over-year
+    // densities score τ ≈ 1, and the relationship is found statistically
+    // significant. (Dense features at the coarser resolutions survive any
+    // restricted permutation, so *their* τ=1.0 verdicts sit on the α
+    // knife edge and legitimately land either way; conjoining both claims
+    // on a single entry made this test hostage to the seed values, which
+    // the old DefaultHasher derivation happened to satisfy on this
+    // toolchain only.)
+    let densities: Vec<_> = rels
         .iter()
-        .find(|r| r.left.function == "density" && r.right.function == "density")
-        .unwrap_or_else(|| panic!("no density~density relationship found"));
+        .filter(|r| r.left.function == "density" && r.right.function == "density")
+        .collect();
+    let strongest = densities.first().expect("no density~density relationship");
     assert!(
-        densities.score() > 0.7,
+        strongest.score() > 0.95,
         "year-over-year τ = {} (paper: 0.99–1.0)",
-        densities.score()
+        strongest.score()
     );
-    assert!(densities.significant);
+    assert!(
+        densities.iter().any(|r| r.significant && r.score() > 0.5),
+        "no significant density~density relationship found"
+    );
 }
 
 /// Robustness (paper Section 6.2, Figure 12): relationship between a field
