@@ -4,9 +4,11 @@
 
 use crate::{fnum, timed, Table};
 use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
+use polygamy_core::pql::{parse_query, to_pql};
 use polygamy_core::prelude::*;
 use polygamy_core::run_query;
 use polygamy_mapreduce::Cluster;
+use std::hint::black_box;
 
 /// Measures candidate evaluations per minute for growing corpus prefixes,
 /// serial vs flat-parallel.
@@ -16,7 +18,9 @@ pub fn run(quick: bool) -> String {
         "Paper: rate stabilises above ~10^4 relationships/minute and is\n\
          independent of raw data size (evaluation touches only features).\n\
          >90% of query time goes to the significance tests — which the flat\n\
-         executor spreads over one shared worker pool per query.\n\n",
+         executor spreads over one shared worker pool per query. The last\n\
+         column prices the PQL textual frontend: microseconds to compile\n\
+         the query from its canonical text, against seconds to run it.\n\n",
     );
     let c = super::urban(quick);
     let perms = if quick { 60 } else { 200 };
@@ -28,6 +32,7 @@ pub fn run(quick: bool) -> String {
         "serial rel/min",
         "flat rel/min",
         "speedup",
+        "pql parse (µs)",
     ]);
     let sizes: Vec<usize> = if quick {
         vec![3, 5, 7, 9]
@@ -69,6 +74,17 @@ pub fn run(quick: bool) -> String {
         let serial_rate = serial_rels.len() as f64 / serial_secs * 60.0;
         let flat_rate = flat_rels.len() as f64 / flat_secs * 60.0;
         let speedup = serial_secs / flat_secs.max(1e-9);
+        // Parse + plan overhead of the textual frontend: compile the same
+        // query from its canonical PQL text. Amortised over repeats so the
+        // number is stable at microsecond scale.
+        let pql = to_pql(&query);
+        let parse_repeats = 2_000u32;
+        let (_, parse_total) = timed(|| {
+            for _ in 0..parse_repeats {
+                black_box(parse_query(black_box(&pql)).expect("canonical PQL parses"));
+            }
+        });
+        let parse_us = parse_total * 1e6 / f64::from(parse_repeats);
         rates.push(flat_rate);
         speedups.push(speedup);
         t.row(&[
@@ -79,6 +95,7 @@ pub fn run(quick: bool) -> String {
             fnum(serial_rate, 0),
             fnum(flat_rate, 0),
             format!("{speedup:.1}x"),
+            fnum(parse_us, 2),
         ]);
     }
     out.push_str(&t.render());

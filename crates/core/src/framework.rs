@@ -321,7 +321,7 @@ impl DataPolygamy {
 /// the coordinating thread; cache misses expand into a flat (pair ×
 /// function-unit × class) task list evaluated on one shared worker pool,
 /// with results assembled in canonical task order — byte-identical output
-/// for any worker count (see [`crate::executor`]).
+/// for any worker count (see the flat executor, `core/src/executor.rs`).
 pub fn run_query(
     index: &PolygamyIndex,
     geometry: &CityGeometry,

@@ -32,6 +32,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod error;
 mod executor;
@@ -40,6 +42,7 @@ pub mod function;
 pub mod index;
 pub mod operator;
 pub mod pipeline;
+pub mod pql;
 pub mod query;
 pub mod relationship;
 pub mod significance;
@@ -50,6 +53,7 @@ pub use framework::{index_dataset, run_query, run_query_many, CityGeometry, Conf
 pub use function::{FunctionRef, FunctionSpec};
 pub use index::{DatasetEntry, FunctionEntry, IndexStats, PolygamyIndex};
 pub use operator::relation;
+pub use pql::{parse_batch, parse_query, to_pql, PqlError, PqlErrorKind};
 pub use query::{Clause, RelationshipQuery};
 pub use relationship::{evaluate_features, Relationship, RelationshipMeasures};
 pub use significance::{significance_test, PermutationScheme};
@@ -58,6 +62,7 @@ pub use significance::{significance_test, PermutationScheme};
 pub mod prelude {
     pub use crate::framework::{CityGeometry, Config, DataPolygamy};
     pub use crate::function::{FunctionRef, FunctionSpec};
+    pub use crate::pql::{parse_batch, parse_query, to_pql, PqlError};
     pub use crate::query::{Clause, RelationshipQuery};
     pub use crate::relationship::Relationship;
     pub use polygamy_stdata::{

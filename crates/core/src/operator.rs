@@ -2,8 +2,8 @@
 //!
 //! For two data sets with `n` and `m` indexed functions there are `n × m`
 //! candidate relationships per common resolution per feature class. The
-//! operator expands all of them into [`UnitTask`]s — one (function pair,
-//! class) evaluation each — which the flat executor ([`crate::executor`])
+//! operator expands all of them into `UnitTask`s — one (function pair,
+//! class) evaluation each — which the flat executor (`core/src/executor.rs`)
 //! schedules on a single shared worker pool. Each task applies the clause
 //! pre-filter and keeps the candidate only if its score survives the
 //! restricted Monte Carlo significance test.

@@ -60,7 +60,7 @@ pub fn compute_scalar_functions(
 /// spatio-temporal cell and the reduce phase aggregates per cell.
 ///
 /// Produces a field identical to the columnar
-/// [`polygamy_stdata::aggregate`] path (tested), and returns the job
+/// [`polygamy_stdata::aggregate()`] path (tested), and returns the job
 /// metrics used by the speedup experiment.
 pub fn density_job(
     cluster: Cluster,

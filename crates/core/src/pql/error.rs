@@ -1,0 +1,302 @@
+//! Typed PQL errors with byte-span diagnostics.
+//!
+//! Every failure mode of the lexer and parser is a [`PqlErrorKind`]
+//! variant carrying a [`Span`] — the half-open byte range of the offending
+//! source text. [`PqlError::render`] turns an error plus its source into a
+//! caret-underlined, line-numbered diagnostic; the full catalogue of
+//! messages is documented in `docs/pql.md`.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into the PQL source text.
+///
+/// Spans produced by [`crate::pql::parse_batch`] are offsets into the
+/// *whole* batch source, not into the individual line, so one rendered
+/// diagnostic pinpoints the failing line of a multi-query file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first offending byte.
+    pub start: usize,
+    /// Byte offset one past the last offending byte (`>= start`).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "inverted span {start}..{end}");
+        Self { start, end }
+    }
+
+    /// An empty span at `pos` (used for end-of-input errors).
+    pub fn at(pos: usize) -> Self {
+        Self::new(pos, pos)
+    }
+
+    /// Returns this span shifted right by `offset` bytes (batch lines are
+    /// lexed line-relative and re-based into whole-file coordinates).
+    pub fn offset(self, offset: usize) -> Self {
+        Self::new(self.start + offset, self.end + offset)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// What went wrong while lexing or parsing PQL.
+///
+/// Each variant corresponds to one entry in the error catalogue of
+/// `docs/pql.md`; the associated data is the offending source fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PqlErrorKind {
+    /// A byte that cannot start any token (e.g. `%`).
+    UnexpectedChar(char),
+    /// A string literal with no closing `"` before end of line/input.
+    UnterminatedString,
+    /// A `\x` escape other than `\"`, `\\`, `\n`, `\t` or `\r` inside a
+    /// string literal.
+    InvalidEscape(char),
+    /// A numeric literal that does not parse as a finite number.
+    InvalidNumber(String),
+    /// A bare `>`: PQL's only comparison operator is `>=`.
+    LoneGt,
+    /// The parser needed `expected` but found the described token.
+    UnexpectedToken {
+        /// Human description of what the grammar allows here.
+        expected: &'static str,
+        /// Rendering of the token actually found.
+        found: String,
+    },
+    /// The parser needed `expected` but the input ended.
+    UnexpectedEnd {
+        /// Human description of what the grammar allows here.
+        expected: &'static str,
+    },
+    /// A reserved word (`between`, `and`, `where`, `in`) used as a bare
+    /// data-set name; quote it (`"and"`) to use it literally.
+    ReservedName(String),
+    /// A predicate head the grammar does not know.
+    UnknownPredicate(String),
+    /// A single-occurrence predicate appeared twice.
+    DuplicatePredicate(&'static str),
+    /// `thresholds` given twice for the same data set (the evaluator
+    /// applies the first match only, so the repeat would be dead).
+    DuplicateThresholds(String),
+    /// `class =` followed by something other than `salient` / `extreme`.
+    UnknownClass(String),
+    /// `scheme =` followed by something other than `paper` /
+    /// `spatiotemporal`.
+    UnknownScheme(String),
+    /// A resolution that is not `<spatial>-<temporal>` with known halves.
+    UnknownResolution(String),
+    /// `permutations =` followed by a non-integer, negative, or
+    /// out-of-range (≥ 2⁵³, where f64 loses exactness) number.
+    ExpectedInteger(String),
+    /// Well-formed query followed by extra tokens.
+    TrailingInput,
+}
+
+impl fmt::Display for PqlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            PqlErrorKind::UnterminatedString => {
+                write!(
+                    f,
+                    "unterminated string literal (strings may not span lines)"
+                )
+            }
+            PqlErrorKind::InvalidEscape(c) => {
+                write!(
+                    f,
+                    "invalid escape `\\{c}` (only `\\\"`, `\\\\`, `\\n`, `\\t` and `\\r` \
+                     are recognised)"
+                )
+            }
+            PqlErrorKind::InvalidNumber(s) => write!(f, "`{s}` is not a valid number"),
+            PqlErrorKind::LoneGt => {
+                write!(f, "`>` is not an operator; PQL comparisons use `>=`")
+            }
+            PqlErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            PqlErrorKind::UnexpectedEnd { expected } => {
+                write!(f, "expected {expected}, found end of query")
+            }
+            PqlErrorKind::ReservedName(w) => {
+                write!(
+                    f,
+                    "`{w}` is a reserved word; quote it (`\"{w}\"`) to use it as a data-set name"
+                )
+            }
+            PqlErrorKind::UnknownPredicate(w) => {
+                write!(
+                    f,
+                    "unknown predicate `{w}` (expected one of: score, strength, class, alpha, \
+                     permutations, resolution, thresholds, scheme, significant, include)"
+                )
+            }
+            PqlErrorKind::DuplicatePredicate(w) => {
+                write!(f, "predicate `{w}` may appear at most once per query")
+            }
+            PqlErrorKind::DuplicateThresholds(d) => {
+                write!(f, "`thresholds` already given for data set `{d}`")
+            }
+            PqlErrorKind::UnknownClass(w) => {
+                write!(
+                    f,
+                    "unknown feature class `{w}` (expected `salient` or `extreme`)"
+                )
+            }
+            PqlErrorKind::UnknownScheme(w) => {
+                write!(
+                    f,
+                    "unknown permutation scheme `{w}` (expected `paper` or `spatiotemporal`)"
+                )
+            }
+            PqlErrorKind::UnknownResolution(w) => {
+                write!(
+                    f,
+                    "unknown resolution `{w}` (expected `<spatial>-<temporal>`, e.g. `city-hour`, \
+                     with spatial in {{gps, zip, neighborhood, city}} and temporal in \
+                     {{hour, day, week, month}})"
+                )
+            }
+            PqlErrorKind::ExpectedInteger(s) => {
+                write!(f, "`{s}` is not a non-negative integer (or is too large)")
+            }
+            PqlErrorKind::TrailingInput => {
+                write!(f, "unexpected trailing input after a complete query")
+            }
+        }
+    }
+}
+
+/// A PQL lex/parse failure: a [`PqlErrorKind`] anchored to a [`Span`].
+///
+/// `Display` is a one-line message with byte offsets; [`PqlError::render`]
+/// produces the full caret diagnostic when the source text is at hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PqlError {
+    /// The failure mode.
+    pub kind: PqlErrorKind,
+    /// Byte range of the offending source text.
+    pub span: Span,
+}
+
+impl PqlError {
+    /// Creates an error of `kind` at `span`.
+    pub fn new(kind: PqlErrorKind, span: Span) -> Self {
+        Self { kind, span }
+    }
+
+    /// Returns a copy with the span shifted right by `offset` bytes.
+    pub fn offset(mut self, offset: usize) -> Self {
+        self.span = self.span.offset(offset);
+        self
+    }
+
+    /// Renders a line-numbered, caret-underlined diagnostic against the
+    /// source text the error was produced from.
+    ///
+    /// ```
+    /// use polygamy_core::pql::parse_query;
+    /// let src = "between taxi and * where scor >= 0.5";
+    /// let err = parse_query(src).unwrap_err();
+    /// let text = err.render(src);
+    /// assert!(text.contains("unknown predicate `scor`"));
+    /// assert!(text.contains("^^^^"));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        // Tabs occupy terminal-dependent widths, which would misalign the
+        // caret line; expand them to a fixed width in both the echoed line
+        // and the column arithmetic (as rustc does).
+        fn expand(s: &str) -> String {
+            s.replace('\t', "    ")
+        }
+        let start = self.span.start.min(source.len());
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = source[line_start..]
+            .find('\n')
+            .map_or(source.len(), |i| line_start + i);
+        let line_no = source[..line_start].matches('\n').count() + 1;
+        let line = expand(&source[line_start..line_end]);
+        let col = expand(&source[line_start..start]).chars().count();
+        let underline_bytes = self.span.end.min(line_end).saturating_sub(start);
+        let carets = expand(&source[start..start + underline_bytes])
+            .chars()
+            .count()
+            .max(1);
+        let gutter = line_no.to_string().len();
+        format!(
+            "error: {kind}\n{pad} --> line {line_no}, bytes {span}\n\
+             {pad} |\n{line_no:>gutter$} | {line}\n{pad} | {indent}{carets}",
+            kind = self.kind,
+            span = self.span,
+            pad = " ".repeat(gutter),
+            indent = " ".repeat(col),
+            carets = "^".repeat(carets),
+        )
+    }
+}
+
+impl fmt::Display for PqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PQL error at bytes {}: {}", self.span, self.kind)
+    }
+}
+
+impl std::error::Error for PqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display_and_offset() {
+        let s = Span::new(3, 7);
+        assert_eq!(s.to_string(), "3..7");
+        assert_eq!(s.offset(10), Span::new(13, 17));
+        assert_eq!(Span::at(5), Span::new(5, 5));
+    }
+
+    #[test]
+    fn render_points_at_the_right_line() {
+        let src = "# comment\nbetween taxi and *\nbetween ! and *";
+        let err = PqlError::new(PqlErrorKind::UnexpectedChar('!'), Span::new(37, 38));
+        let text = err.render(src);
+        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("between ! and *"), "{text}");
+        let caret_line = text.lines().last().unwrap();
+        assert_eq!(caret_line.matches('^').count(), 1, "{text}");
+    }
+
+    #[test]
+    fn render_expands_tabs_for_caret_alignment() {
+        let src = "between\ttaxi and ! x";
+        let err = PqlError::new(PqlErrorKind::UnexpectedChar('!'), Span::new(17, 18));
+        let text = err.render(src);
+        let lines: Vec<&str> = text.lines().collect();
+        let echoed = lines[lines.len() - 2];
+        let caret_line = lines[lines.len() - 1];
+        assert!(!echoed.contains('\t'), "{text}");
+        let caret_col = caret_line.find('^').unwrap();
+        let bang_col = echoed.find('!').unwrap();
+        assert_eq!(caret_col, bang_col, "{text}");
+    }
+
+    #[test]
+    fn render_handles_end_of_input() {
+        let src = "between taxi";
+        let err = PqlError::new(
+            PqlErrorKind::UnexpectedEnd { expected: "`and`" },
+            Span::at(src.len()),
+        );
+        let text = err.render(src);
+        assert!(text.contains("end of query"), "{text}");
+        assert!(text.ends_with('^'), "{text}");
+    }
+}

@@ -1,0 +1,378 @@
+//! Hand-written PQL lexer: source text → spanned tokens.
+//!
+//! The token set is deliberately tiny: bare words (which may contain
+//! hyphens, matching data-set names like `gas-prices` and resolution
+//! names like `city-hour`), quoted strings with `\"`, `\\`, `\n`, `\t`
+//! and `\r` escapes,
+//! decimal numbers (optional sign, fraction and exponent), and the six
+//! punctuators `, ( ) * >= =`. Whitespace separates tokens; `#` starts a
+//! comment that runs to end of line. Keywords are *contextual* — the
+//! lexer produces plain [`TokenKind::Word`]s and the parser decides which
+//! words are keywords where, so `score` or `between` remain usable as
+//! data-set names (quoted, for the four reserved words).
+
+use super::error::{PqlError, PqlErrorKind, Span};
+
+/// The kinds of token PQL distinguishes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare word: `[A-Za-z_][A-Za-z0-9_-]*`.
+    Word(String),
+    /// A quoted string literal, unescaped.
+    Str(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+impl TokenKind {
+    /// Human rendering used in "expected X, found Y" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => format!("`{w}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Eq => "`=`".into(),
+        }
+    }
+}
+
+/// A token plus the byte range it was lexed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// True if `name` lexes back as a single bare [`TokenKind::Word`] — i.e.
+/// it can be printed unquoted (reservedness is a separate, parser-level
+/// concern; see [`super::printer`]).
+pub fn is_bare_word(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Lexes `src` to completion. Spans are byte offsets into `src`.
+pub fn lex(src: &str) -> Result<Vec<Token>, PqlError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => {
+                tokens.push(punct(TokenKind::Comma, i));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(punct(TokenKind::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(punct(TokenKind::RParen, i));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(punct(TokenKind::Star, i));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(punct(TokenKind::Eq, i));
+                i += 1;
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(PqlError::new(PqlErrorKind::LoneGt, Span::new(i, i + 1)));
+                }
+            }
+            b'"' => {
+                let (tok, next) = lex_string(src, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            b'-' | b'0'..=b'9' => {
+                let (tok, next) = lex_number(src, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Report the whole UTF-8 character, not its first byte.
+                let c = src[i..].chars().next().expect("in-bounds char");
+                return Err(PqlError::new(
+                    PqlErrorKind::UnexpectedChar(c),
+                    Span::new(i, i + c.len_utf8()),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn punct(kind: TokenKind, at: usize) -> Token {
+    Token {
+        kind,
+        span: Span::new(at, at + 1),
+    }
+}
+
+/// Lexes the quoted string starting at `start` (which holds `"`).
+fn lex_string(src: &str, start: usize) -> Result<(Token, usize), PqlError> {
+    let mut out = String::new();
+    let mut iter = src[start + 1..].char_indices();
+    while let Some((off, c)) = iter.next() {
+        let pos = start + 1 + off;
+        match c {
+            '"' => {
+                return Ok((
+                    Token {
+                        kind: TokenKind::Str(out),
+                        span: Span::new(start, pos + 1),
+                    },
+                    pos + 1,
+                ));
+            }
+            '\n' => break,
+            '\\' => match iter.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((eoff, other)) => {
+                    return Err(PqlError::new(
+                        PqlErrorKind::InvalidEscape(other),
+                        Span::new(pos, start + 1 + eoff + other.len_utf8()),
+                    ));
+                }
+                None => break,
+            },
+            other => out.push(other),
+        }
+    }
+    Err(PqlError::new(
+        PqlErrorKind::UnterminatedString,
+        Span::new(
+            start,
+            src.len()
+                .min(start + 1 + src[start + 1..].find('\n').unwrap_or(src.len())),
+        ),
+    ))
+}
+
+/// Lexes the number starting at `start` (a digit or `-`).
+fn lex_number(src: &str, start: usize) -> Result<(Token, usize), PqlError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    let digits_from = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &src[start..i];
+    let span = Span::new(start, i);
+    if i == digits_from {
+        // A lone `-` with no digits after it.
+        return Err(PqlError::new(
+            PqlErrorKind::InvalidNumber(text.to_string()),
+            span,
+        ));
+    }
+    match text.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok((
+            Token {
+                kind: TokenKind::Number(v),
+                span,
+            },
+            i,
+        )),
+        _ => Err(PqlError::new(
+            PqlErrorKind::InvalidNumber(text.to_string()),
+            span,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_and_punctuation() {
+        assert_eq!(
+            kinds("between gas-prices and * where score >= 0.6"),
+            vec![
+                TokenKind::Word("between".into()),
+                TokenKind::Word("gas-prices".into()),
+                TokenKind::Word("and".into()),
+                TokenKind::Star,
+                TokenKind::Word("where".into()),
+                TokenKind::Word("score".into()),
+                TokenKind::Ge,
+                TokenKind::Number(0.6),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = lex("taxi (1.5, -1.5)").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 4));
+        assert_eq!(toks[1].span, Span::new(5, 6));
+        assert_eq!(toks[2].span, Span::new(6, 9));
+        assert_eq!(toks[4].span, Span::new(11, 15)); // -1.5
+        assert_eq!(toks[5].span, Span::new(15, 16));
+    }
+
+    #[test]
+    fn strings_unescape() {
+        assert_eq!(
+            kinds(r#""with space" "q\"uote" "back\\slash" """#),
+            vec![
+                TokenKind::Str("with space".into()),
+                TokenKind::Str("q\"uote".into()),
+                TokenKind::Str("back\\slash".into()),
+                TokenKind::Str(String::new()),
+            ]
+        );
+        assert_eq!(
+            kinds(r#""line\nbreak\ttab\rcr""#),
+            vec![TokenKind::Str("line\nbreak\ttab\rcr".into())]
+        );
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        assert_eq!(
+            kinds("alpha # everything here is ignored ( > !\nbeta"),
+            vec![
+                TokenKind::Word("alpha".into()),
+                TokenKind::Word("beta".into()),
+            ]
+        );
+        assert!(kinds("# only a comment").is_empty());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        assert_eq!(kinds(r##""a#b""##), vec![TokenKind::Str("a#b".into())]);
+    }
+
+    #[test]
+    fn exponent_numbers() {
+        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0)]);
+        assert_eq!(kinds("-2.5E-2"), vec![TokenKind::Number(-0.025)]);
+    }
+
+    #[test]
+    fn lone_gt_is_an_error() {
+        let err = lex("score > 5").unwrap_err();
+        assert_eq!(err.kind, PqlErrorKind::LoneGt);
+        assert_eq!(err.span, Span::new(6, 7));
+    }
+
+    #[test]
+    fn unterminated_string_spans_to_line_end() {
+        let err = lex("\"oops\nnext").unwrap_err();
+        assert_eq!(err.kind, PqlErrorKind::UnterminatedString);
+        assert_eq!(err.span, Span::new(0, 5));
+    }
+
+    #[test]
+    fn invalid_escape() {
+        let err = lex(r#""a\qb""#).unwrap_err();
+        assert_eq!(err.kind, PqlErrorKind::InvalidEscape('q'));
+    }
+
+    #[test]
+    fn unexpected_char_reports_full_utf8_char() {
+        let err = lex("between § and *").unwrap_err();
+        assert_eq!(err.kind, PqlErrorKind::UnexpectedChar('§'));
+        assert_eq!(err.span.end - err.span.start, '§'.len_utf8());
+    }
+
+    #[test]
+    fn lone_minus_is_invalid_number() {
+        let err = lex("thresholds t (-, 1)").unwrap_err();
+        assert_eq!(err.kind, PqlErrorKind::InvalidNumber("-".into()));
+    }
+
+    #[test]
+    fn bare_word_predicate() {
+        assert!(is_bare_word("gas-prices"));
+        assert!(is_bare_word("_x9"));
+        assert!(!is_bare_word(""));
+        assert!(!is_bare_word("9lives"));
+        assert!(!is_bare_word("has space"));
+        assert!(!is_bare_word("-lead"));
+    }
+}

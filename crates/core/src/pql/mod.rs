@@ -1,0 +1,121 @@
+//! # PQL — the Polygamy Query Language
+//!
+//! A small textual language for the paper's query form (Section 5.3):
+//! *find relationships between D1 and D2 satisfying clause*. PQL is the
+//! stable, user-facing wire contract over [`RelationshipQuery`] /
+//! [`Clause`](crate::query::Clause): anything a frontend can say in PQL
+//! compiles to exactly the structs the executor runs, and anything the
+//! structs can express prints back to canonical PQL. The language
+//! reference (grammar, predicate semantics, defaults, error catalogue)
+//! lives in `docs/pql.md`.
+//!
+//! ```
+//! use polygamy_core::pql::{parse_query, to_pql};
+//!
+//! let q = parse_query(
+//!     "between taxi, weather and * where score >= 0.6 and class = salient",
+//! )
+//! .unwrap();
+//! assert_eq!(q.left.as_deref(), Some(&["taxi".to_string(), "weather".to_string()][..]));
+//! // Printing is canonical: parse(print(q)) == q, and printing is idempotent.
+//! assert_eq!(
+//!     to_pql(&q),
+//!     "between taxi, weather and * where score >= 0.6 and class = salient"
+//! );
+//! ```
+//!
+//! Three entry points:
+//!
+//! * [`parse_query`] — one query (newlines and `#` comments allowed);
+//! * [`parse_batch`] — a batch file: one query per line, blank lines and
+//!   `#` comment lines skipped, error spans indexed into the whole file;
+//! * [`to_pql`] — the canonical pretty-printer.
+//!
+//! Errors are typed ([`PqlError`] = [`PqlErrorKind`] + byte [`Span`]) and
+//! render to caret diagnostics via [`PqlError::render`].
+
+mod error;
+mod lexer;
+mod parser;
+mod printer;
+
+pub use error::{PqlError, PqlErrorKind, Span};
+pub use parser::{parse_query, parse_resolution, RESERVED_WORDS};
+pub use printer::{resolution_name, to_pql};
+
+use crate::query::RelationshipQuery;
+
+/// Parses a PQL batch: one query per line.
+///
+/// Blank lines and lines holding only a `#` comment are skipped; a `#`
+/// comment may also trail a query. Unlike [`parse_query`], a query must
+/// fit on one line — that is what makes a batch file trivially
+/// appendable and diffable. Error spans are byte offsets into the *whole*
+/// batch source, so [`PqlError::render`] points at the failing line.
+///
+/// ```
+/// use polygamy_core::pql::parse_batch;
+///
+/// let batch = "# morning traffic sweep\n\
+///              between taxi and * where score >= 0.5\n\n\
+///              between weather and gas-prices   # the running example\n";
+/// let queries = parse_batch(batch).unwrap();
+/// assert_eq!(queries.len(), 2);
+/// ```
+pub fn parse_batch(src: &str) -> Result<Vec<RelationshipQuery>, PqlError> {
+    let mut queries = Vec::new();
+    let mut offset = 0;
+    for line in src.split('\n') {
+        let tokens = lexer::lex(line).map_err(|e| e.offset(offset))?;
+        if !tokens.is_empty() {
+            let query = parser::parse_tokens(&tokens, line.len()).map_err(|e| e.offset(offset))?;
+            queries.push(query);
+        }
+        offset += line.len() + 1;
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Clause;
+
+    #[test]
+    fn batch_skips_blanks_and_comments() {
+        let src = "# header comment\n\nbetween a and b\n   \nbetween c and * # tail\n";
+        let qs = parse_batch(src).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0], RelationshipQuery::between(&["a"], &["b"]));
+        assert_eq!(qs[1], RelationshipQuery::of("c"));
+    }
+
+    #[test]
+    fn empty_batch_is_ok() {
+        assert!(parse_batch("").unwrap().is_empty());
+        assert!(parse_batch("# nothing here\n# at all").unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_error_spans_index_the_whole_file() {
+        let src = "between a and b\nbetween c and d where scor >= 1\n";
+        let err = parse_batch(src).unwrap_err();
+        assert_eq!(err.kind, PqlErrorKind::UnknownPredicate("scor".into()));
+        assert_eq!(&src[err.span.start..err.span.end], "scor");
+        assert!(err.render(src).contains("line 2"));
+    }
+
+    #[test]
+    fn batch_queries_cannot_span_lines() {
+        // `between a` alone on a line is an incomplete query.
+        let err = parse_batch("between a\nand b\n").unwrap_err();
+        assert!(matches!(err.kind, PqlErrorKind::UnexpectedEnd { .. }));
+        assert_eq!(err.span, Span::at("between a".len()));
+    }
+
+    #[test]
+    fn batch_lines_parse_clauses() {
+        let qs = parse_batch("between a and b where permutations = 64\n").unwrap();
+        assert_eq!(qs[0].clause, Clause::default().permutations(64));
+    }
+}

@@ -1,0 +1,650 @@
+//! Recursive-descent PQL parser: tokens → [`RelationshipQuery`].
+//!
+//! Grammar (see `docs/pql.md` for the full EBNF and prose):
+//!
+//! ```text
+//! query       = "between" collection "and" collection [ "where" predicates ]
+//! collection  = "*" | "(" [ dataset { "," dataset } ] ")"
+//!             | dataset { "," dataset }
+//! dataset     = WORD | STRING          (reserved words must be quoted)
+//! predicates  = predicate { "and" predicate }
+//! predicate   = "score" ">=" NUMBER
+//!             | "strength" ">=" NUMBER
+//!             | "class" "=" ( "salient" | "extreme" )
+//!             | "alpha" "=" NUMBER
+//!             | "permutations" "=" INTEGER
+//!             | "resolution" ( "=" resolution
+//!                            | "in" "(" [ resolution { "," resolution } ] ")" )
+//!             | "thresholds" dataset "(" NUMBER "," NUMBER ")"
+//!             | "scheme" "=" ( "paper" | "spatiotemporal" )
+//!             | "significant"
+//!             | "include" "insignificant"
+//! resolution  = WORD                   ("<spatial>-<temporal>", e.g. city-hour)
+//! ```
+//!
+//! Keywords are contextual: only `between`, `and`, `where` and `in` are
+//! reserved in data-set position (quote them to use them as names).
+//! Single-occurrence predicates may appear at most once; `thresholds` may
+//! repeat (once per data set, in order).
+
+use super::error::{PqlError, PqlErrorKind, Span};
+use super::lexer::{lex, Token, TokenKind};
+use crate::query::{Clause, DatasetThresholds, RelationshipQuery};
+use crate::significance::PermutationScheme;
+use polygamy_stdata::{Resolution, SpatialResolution, TemporalResolution};
+use polygamy_topology::FeatureClass;
+
+/// Words that cannot appear bare in data-set position.
+pub const RESERVED_WORDS: [&str; 4] = ["between", "and", "where", "in"];
+
+/// Parses one complete PQL query; trailing tokens are an error.
+///
+/// `#` comments and newlines are treated as whitespace, so a single query
+/// may be split over several lines.
+pub fn parse_query(src: &str) -> Result<RelationshipQuery, PqlError> {
+    let tokens = lex(src)?;
+    parse_tokens(&tokens, src.len())
+}
+
+/// Parses a pre-lexed token stream to completion. `end` is the byte
+/// position reported by end-of-input errors (the source length).
+pub(super) fn parse_tokens(tokens: &[Token], end: usize) -> Result<RelationshipQuery, PqlError> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end,
+    };
+    let query = p.query()?;
+    if let Some(extra) = p.peek() {
+        return Err(PqlError::new(PqlErrorKind::TrailingInput, extra.span));
+    }
+    Ok(query)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<&'a Token, PqlError> {
+        match self.tokens.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(t)
+            }
+            None => Err(self.eof(expected)),
+        }
+    }
+
+    fn eof(&self, expected: &'static str) -> PqlError {
+        PqlError::new(PqlErrorKind::UnexpectedEnd { expected }, Span::at(self.end))
+    }
+
+    fn unexpected(token: &Token, expected: &'static str) -> PqlError {
+        PqlError::new(
+            PqlErrorKind::UnexpectedToken {
+                expected,
+                found: token.kind.describe(),
+            },
+            token.span,
+        )
+    }
+
+    /// Consumes the next token if it is the bare word `word`.
+    fn eat_word(&mut self, word: &str) -> bool {
+        if let Some(Token {
+            kind: TokenKind::Word(w),
+            ..
+        }) = self.peek()
+        {
+            if w == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_word(&mut self, word: &'static str, expected: &'static str) -> Result<(), PqlError> {
+        let t = self.next(expected)?;
+        match &t.kind {
+            TokenKind::Word(w) if w == word => Ok(()),
+            _ => Err(Self::unexpected(t, expected)),
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, expected: &'static str) -> Result<(), PqlError> {
+        let t = self.next(expected)?;
+        if &t.kind == kind {
+            Ok(())
+        } else {
+            Err(Self::unexpected(t, expected))
+        }
+    }
+
+    fn number(&mut self, expected: &'static str) -> Result<f64, PqlError> {
+        let t = self.next(expected)?;
+        match t.kind {
+            TokenKind::Number(v) => Ok(v),
+            _ => Err(Self::unexpected(t, expected)),
+        }
+    }
+
+    fn query(&mut self) -> Result<RelationshipQuery, PqlError> {
+        self.expect_word("between", "`between`")?;
+        let left = self.collection()?;
+        self.expect_word("and", "`and`")?;
+        let right = self.collection()?;
+        let clause = if self.eat_word("where") {
+            self.predicates()?
+        } else {
+            Clause::default()
+        };
+        Ok(RelationshipQuery {
+            left,
+            right,
+            clause,
+        })
+    }
+
+    /// `*` → `None`; otherwise a (possibly parenthesised, possibly empty
+    /// when parenthesised) list of data-set names.
+    fn collection(&mut self) -> Result<Option<Vec<String>>, PqlError> {
+        const EXPECTED: &str = "a data-set collection (`*`, a name, or `(`)";
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Star,
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(None)
+            }
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
+                self.pos += 1;
+                let mut names = Vec::new();
+                if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
+                    loop {
+                        names.push(self.dataset()?);
+                        if !self.eat_comma() {
+                            break;
+                        }
+                    }
+                }
+                self.expect_kind(&TokenKind::RParen, "`)` closing the collection")?;
+                Ok(Some(names))
+            }
+            Some(_) => {
+                let mut names = vec![self.dataset()?];
+                while self.eat_comma() {
+                    names.push(self.dataset()?);
+                }
+                Ok(Some(names))
+            }
+            None => Err(self.eof(EXPECTED)),
+        }
+    }
+
+    fn eat_comma(&mut self) -> bool {
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Comma)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn dataset(&mut self) -> Result<String, PqlError> {
+        const EXPECTED: &str = "a data-set name";
+        let t = self.next(EXPECTED)?;
+        match &t.kind {
+            TokenKind::Word(w) => {
+                if RESERVED_WORDS.contains(&w.as_str()) {
+                    Err(PqlError::new(PqlErrorKind::ReservedName(w.clone()), t.span))
+                } else {
+                    Ok(w.clone())
+                }
+            }
+            TokenKind::Str(s) => Ok(s.clone()),
+            _ => Err(Self::unexpected(t, EXPECTED)),
+        }
+    }
+
+    fn predicates(&mut self) -> Result<Clause, PqlError> {
+        let mut clause = Clause::default();
+        let mut seen = SeenPredicates::default();
+        loop {
+            self.predicate(&mut clause, &mut seen)?;
+            if !self.eat_word("and") {
+                break;
+            }
+        }
+        Ok(clause)
+    }
+
+    fn predicate(
+        &mut self,
+        clause: &mut Clause,
+        seen: &mut SeenPredicates,
+    ) -> Result<(), PqlError> {
+        const EXPECTED: &str = "a predicate";
+        let t = self.next(EXPECTED)?;
+        let TokenKind::Word(head) = &t.kind else {
+            return Err(Self::unexpected(t, EXPECTED));
+        };
+        match head.as_str() {
+            "score" => {
+                seen.claim("score", seen_flags::SCORE, t.span)?;
+                self.expect_kind(&TokenKind::Ge, "`>=` after `score`")?;
+                clause.min_score = self.number("a number after `score >=`")?;
+            }
+            "strength" => {
+                seen.claim("strength", seen_flags::STRENGTH, t.span)?;
+                self.expect_kind(&TokenKind::Ge, "`>=` after `strength`")?;
+                clause.min_strength = self.number("a number after `strength >=`")?;
+            }
+            "class" => {
+                seen.claim("class", seen_flags::CLASS, t.span)?;
+                self.expect_kind(&TokenKind::Eq, "`=` after `class`")?;
+                let v = self.next("`salient` or `extreme`")?;
+                clause.class = Some(match &v.kind {
+                    TokenKind::Word(w) if w == "salient" => FeatureClass::Salient,
+                    TokenKind::Word(w) if w == "extreme" => FeatureClass::Extreme,
+                    TokenKind::Word(w) => {
+                        return Err(PqlError::new(PqlErrorKind::UnknownClass(w.clone()), v.span));
+                    }
+                    _ => return Err(Self::unexpected(v, "`salient` or `extreme`")),
+                });
+            }
+            "alpha" => {
+                seen.claim("alpha", seen_flags::ALPHA, t.span)?;
+                self.expect_kind(&TokenKind::Eq, "`=` after `alpha`")?;
+                clause.alpha = self.number("a number after `alpha =`")?;
+            }
+            "permutations" => {
+                seen.claim("permutations", seen_flags::PERMUTATIONS, t.span)?;
+                self.expect_kind(&TokenKind::Eq, "`=` after `permutations`")?;
+                let t = self.next("an integer after `permutations =`")?;
+                let TokenKind::Number(v) = t.kind else {
+                    return Err(Self::unexpected(t, "an integer after `permutations =`"));
+                };
+                // Numbers lex as f64, which is exact only below 2^53:
+                // beyond that (or beyond usize on 32-bit targets) the
+                // count would be silently rounded, so reject it instead.
+                const MAX_EXACT: f64 = (1u64 << 53) as f64;
+                if v < 0.0 || v.fract() != 0.0 || v >= MAX_EXACT || v > usize::MAX as f64 {
+                    return Err(PqlError::new(
+                        PqlErrorKind::ExpectedInteger(format!("{v}")),
+                        t.span,
+                    ));
+                }
+                clause.permutations = v as usize;
+            }
+            "resolution" => {
+                seen.claim("resolution", seen_flags::RESOLUTION, t.span)?;
+                let next = self.next("`=` or `in` after `resolution`")?;
+                match &next.kind {
+                    TokenKind::Eq => {
+                        clause.resolutions = Some(vec![self.resolution()?]);
+                    }
+                    TokenKind::Word(w) if w == "in" => {
+                        self.expect_kind(&TokenKind::LParen, "`(` after `resolution in`")?;
+                        let mut rs = Vec::new();
+                        if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
+                            loop {
+                                rs.push(self.resolution()?);
+                                if !self.eat_comma() {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect_kind(&TokenKind::RParen, "`)` closing the resolution list")?;
+                        clause.resolutions = Some(rs);
+                    }
+                    _ => return Err(Self::unexpected(next, "`=` or `in` after `resolution`")),
+                }
+            }
+            "thresholds" => {
+                let name_span = self
+                    .peek()
+                    .map_or_else(|| Span::at(self.end), |tok| tok.span);
+                let dataset = self.dataset()?;
+                // The relationship operator applies the *first* matching
+                // thresholds entry; a repeat for the same data set would be
+                // dead weight the user almost certainly meant as an edit.
+                if clause.thresholds.iter().any(|t| t.dataset == dataset) {
+                    return Err(PqlError::new(
+                        PqlErrorKind::DuplicateThresholds(dataset),
+                        name_span,
+                    ));
+                }
+                self.expect_kind(&TokenKind::LParen, "`(` after the thresholds data set")?;
+                let theta_pos = self.number("the super-level threshold θ⁺")?;
+                self.expect_kind(&TokenKind::Comma, "`,` between the two thresholds")?;
+                let theta_neg = self.number("the sub-level threshold θ⁻")?;
+                self.expect_kind(&TokenKind::RParen, "`)` closing the thresholds")?;
+                clause.thresholds.push(DatasetThresholds {
+                    dataset,
+                    theta_pos,
+                    theta_neg,
+                });
+            }
+            "scheme" => {
+                seen.claim("scheme", seen_flags::SCHEME, t.span)?;
+                self.expect_kind(&TokenKind::Eq, "`=` after `scheme`")?;
+                let v = self.next("`paper` or `spatiotemporal`")?;
+                clause.scheme = Some(match &v.kind {
+                    TokenKind::Word(w) if w == "paper" => PermutationScheme::Paper,
+                    TokenKind::Word(w) if w == "spatiotemporal" => {
+                        PermutationScheme::SpatioTemporal
+                    }
+                    TokenKind::Word(w) => {
+                        return Err(PqlError::new(
+                            PqlErrorKind::UnknownScheme(w.clone()),
+                            v.span,
+                        ));
+                    }
+                    _ => return Err(Self::unexpected(v, "`paper` or `spatiotemporal`")),
+                });
+            }
+            "significant" => {
+                seen.claim("significant", seen_flags::SIGNIFICANCE, t.span)?;
+                clause.significant_only = true;
+            }
+            "include" => {
+                seen.claim("include insignificant", seen_flags::SIGNIFICANCE, t.span)?;
+                self.expect_word("insignificant", "`insignificant` after `include`")?;
+                clause.significant_only = false;
+            }
+            other => {
+                return Err(PqlError::new(
+                    PqlErrorKind::UnknownPredicate(other.to_string()),
+                    t.span,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `<spatial>-<temporal>` (e.g. `city-hour`).
+    fn resolution(&mut self) -> Result<Resolution, PqlError> {
+        const EXPECTED: &str = "a resolution like `city-hour`";
+        let t = self.next(EXPECTED)?;
+        let TokenKind::Word(w) = &t.kind else {
+            return Err(Self::unexpected(t, EXPECTED));
+        };
+        parse_resolution(w)
+            .ok_or_else(|| PqlError::new(PqlErrorKind::UnknownResolution(w.clone()), t.span))
+    }
+}
+
+/// Parses a `<spatial>-<temporal>` resolution name (`city-hour`,
+/// `zip-day`, …); `None` if either half is unknown.
+pub fn parse_resolution(name: &str) -> Option<Resolution> {
+    let (s, t) = name.split_once('-')?;
+    let spatial = match s {
+        "gps" => SpatialResolution::Gps,
+        "zip" => SpatialResolution::Zip,
+        "neighborhood" => SpatialResolution::Neighborhood,
+        "city" => SpatialResolution::City,
+        _ => return None,
+    };
+    let temporal = match t {
+        "hour" => TemporalResolution::Hour,
+        "day" => TemporalResolution::Day,
+        "week" => TemporalResolution::Week,
+        "month" => TemporalResolution::Month,
+        _ => return None,
+    };
+    Some(Resolution::new(spatial, temporal))
+}
+
+/// Tracks which single-occurrence predicates have been used, keyed by bit
+/// index, so the second occurrence gets a [`PqlErrorKind::DuplicatePredicate`].
+#[derive(Default)]
+struct SeenPredicates {
+    bits: u32,
+}
+
+/// Bit indices for [`SeenPredicates`]. `significant` and `include
+/// insignificant` share one bit: they set the same field.
+mod seen_flags {
+    pub const SCORE: u32 = 0;
+    pub const STRENGTH: u32 = 1;
+    pub const CLASS: u32 = 2;
+    pub const ALPHA: u32 = 3;
+    pub const PERMUTATIONS: u32 = 4;
+    pub const RESOLUTION: u32 = 5;
+    pub const SCHEME: u32 = 6;
+    pub const SIGNIFICANCE: u32 = 7;
+}
+
+impl SeenPredicates {
+    fn claim(&mut self, name: &'static str, bit: u32, span: Span) -> Result<(), PqlError> {
+        let mask = 1u32 << bit;
+        if self.bits & mask != 0 {
+            return Err(PqlError::new(PqlErrorKind::DuplicatePredicate(name), span));
+        }
+        self.bits |= mask;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> RelationshipQuery {
+        parse_query(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+    }
+
+    fn err(src: &str) -> PqlError {
+        parse_query(src).expect_err("should fail")
+    }
+
+    #[test]
+    fn wildcard_both_sides_is_the_default_query() {
+        assert_eq!(q("between * and *"), RelationshipQuery::all());
+    }
+
+    #[test]
+    fn collections_parse() {
+        let parsed = q("between taxi, weather and *");
+        assert_eq!(
+            parsed.left,
+            Some(vec!["taxi".to_string(), "weather".to_string()])
+        );
+        assert_eq!(parsed.right, None);
+        assert_eq!(q("between (taxi) and (a, b)").right.unwrap().len(), 2);
+        assert_eq!(q("between () and *").left, Some(vec![]));
+    }
+
+    #[test]
+    fn quoted_names_and_reserved_words() {
+        let parsed = q(r#"between "and", "with space" and taxi"#);
+        assert_eq!(
+            parsed.left,
+            Some(vec!["and".to_string(), "with space".to_string()])
+        );
+        let e = err("between and and *");
+        assert_eq!(e.kind, PqlErrorKind::ReservedName("and".into()));
+        assert_eq!(e.span, Span::new(8, 11));
+    }
+
+    #[test]
+    fn every_predicate_parses() {
+        let parsed = q("between taxi and * where \
+             score >= 0.6 and strength >= 0.4 and class = salient and alpha = 0.01 \
+             and permutations = 2000 and resolution in (city-hour, zip-day) \
+             and thresholds taxi (1.5, -1.5) and scheme = spatiotemporal \
+             and include insignificant");
+        let c = &parsed.clause;
+        assert_eq!(c.min_score, 0.6);
+        assert_eq!(c.min_strength, 0.4);
+        assert_eq!(c.class, Some(FeatureClass::Salient));
+        assert_eq!(c.alpha, 0.01);
+        assert_eq!(c.permutations, 2000);
+        assert!(!c.significant_only);
+        assert_eq!(
+            c.resolutions,
+            Some(vec![
+                Resolution::new(SpatialResolution::City, TemporalResolution::Hour),
+                Resolution::new(SpatialResolution::Zip, TemporalResolution::Day),
+            ])
+        );
+        assert_eq!(
+            c.thresholds,
+            vec![DatasetThresholds {
+                dataset: "taxi".into(),
+                theta_pos: 1.5,
+                theta_neg: -1.5,
+            }]
+        );
+        assert_eq!(c.scheme, Some(PermutationScheme::SpatioTemporal));
+    }
+
+    #[test]
+    fn significant_is_explicit_default() {
+        let parsed = q("between taxi and * where significant");
+        assert!(parsed.clause.significant_only);
+        assert_eq!(parsed.clause, Clause::default());
+    }
+
+    #[test]
+    fn single_resolution_equals_form() {
+        let parsed = q("between a and b where resolution = neighborhood-week");
+        assert_eq!(
+            parsed.clause.resolutions,
+            Some(vec![Resolution::new(
+                SpatialResolution::Neighborhood,
+                TemporalResolution::Week
+            )])
+        );
+        assert_eq!(
+            q("between a and b where resolution in ()")
+                .clause
+                .resolutions,
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn repeated_thresholds_accumulate_in_order() {
+        let parsed = q("between a and b where thresholds a (1, -1) and thresholds b (2, -2)");
+        assert_eq!(parsed.clause.thresholds.len(), 2);
+        assert_eq!(parsed.clause.thresholds[0].dataset, "a");
+        assert_eq!(parsed.clause.thresholds[1].dataset, "b");
+    }
+
+    #[test]
+    fn duplicate_thresholds_for_one_dataset_rejected() {
+        // The evaluator applies the first match only, so a repeat would be
+        // silently dead — reject it with a span on the repeated name.
+        let src = "between a and b where thresholds a (1, -1) and thresholds a (9, -9)";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::DuplicateThresholds("a".into()));
+        assert_eq!(&src[e.span.start..e.span.end], "a");
+        assert_eq!(e.span.start, 58);
+    }
+
+    #[test]
+    fn oversized_permutation_counts_rejected() {
+        // 2^53 + 1 is not exactly representable in f64; accepting it would
+        // silently store the wrong count.
+        let e = err("between a and b where permutations = 9007199254740993");
+        assert!(matches!(e.kind, PqlErrorKind::ExpectedInteger(_)));
+        let e = err("between a and b where permutations = 18446744073709551616");
+        assert!(matches!(e.kind, PqlErrorKind::ExpectedInteger(_)));
+        // Realistic counts are unaffected.
+        let parsed = q("between a and b where permutations = 1000000");
+        assert_eq!(parsed.clause.permutations, 1_000_000);
+    }
+
+    #[test]
+    fn multiline_query_with_comments() {
+        let parsed = q("between taxi and *   # the pair\n  where score >= 0.5 # the filter");
+        assert_eq!(parsed.clause.min_score, 0.5);
+    }
+
+    #[test]
+    fn duplicate_predicates_rejected_with_span() {
+        let src = "between a and b where score >= 0.1 and score >= 0.2";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::DuplicatePredicate("score"));
+        assert_eq!(&src[e.span.start..e.span.end], "score");
+        assert_eq!(e.span.start, 39);
+        // `significant` and `include insignificant` contradict; both claim
+        // the same slot.
+        let e = err("between a and b where significant and include insignificant");
+        assert_eq!(
+            e.kind,
+            PqlErrorKind::DuplicatePredicate("include insignificant")
+        );
+    }
+
+    #[test]
+    fn error_spans_are_exact() {
+        let src = "between taxi and * where permutations = 12.5";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::ExpectedInteger("12.5".into()));
+        assert_eq!(&src[e.span.start..e.span.end], "12.5");
+
+        let src = "between taxi and * where class = bogus";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::UnknownClass("bogus".into()));
+        assert_eq!(&src[e.span.start..e.span.end], "bogus");
+
+        let src = "between taxi and * where resolution = city-minute";
+        let e = err(src);
+        assert_eq!(
+            e.kind,
+            PqlErrorKind::UnknownResolution("city-minute".into())
+        );
+        assert_eq!(&src[e.span.start..e.span.end], "city-minute");
+
+        let src = "between taxi and * where scheme = fancy";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::UnknownScheme("fancy".into()));
+
+        let src = "between taxi and * where speed >= 3";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::UnknownPredicate("speed".into()));
+        assert_eq!(&src[e.span.start..e.span.end], "speed");
+    }
+
+    #[test]
+    fn unexpected_end_points_past_the_source() {
+        let src = "between taxi";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::UnexpectedEnd { expected: "`and`" });
+        assert_eq!(e.span, Span::at(src.len()));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        let src = "between a and b extra";
+        let e = err(src);
+        assert_eq!(e.kind, PqlErrorKind::TrailingInput);
+        assert_eq!(&src[e.span.start..e.span.end], "extra");
+    }
+
+    #[test]
+    fn negative_permutations_rejected() {
+        let e = err("between a and b where permutations = -5");
+        assert_eq!(e.kind, PqlErrorKind::ExpectedInteger("-5".into()));
+    }
+
+    #[test]
+    fn score_requires_ge_not_eq() {
+        let e = err("between a and b where score = 0.5");
+        assert!(matches!(e.kind, PqlErrorKind::UnexpectedToken { .. }));
+    }
+}

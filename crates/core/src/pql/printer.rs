@@ -1,0 +1,228 @@
+//! Canonical PQL pretty-printer: [`RelationshipQuery`] → source text.
+//!
+//! [`to_pql`] emits the *canonical form*: one line, clause fields printed
+//! only when they differ from [`Clause::default`], predicates in a fixed
+//! order (score, strength, class, alpha, permutations, resolution,
+//! thresholds, scheme, significance), names quoted only when necessary.
+//! The output always re-parses to a `RelationshipQuery` that compares
+//! equal to the input (`parse ∘ print = id`, proven by proptest in
+//! `tests/integration_pql.rs`), with the caveats listed under "Limits"
+//! in `docs/pql.md`: non-finite numbers have no PQL literal,
+//! `permutations` counts ≥ 2⁵³ exceed f64 exactness, and repeated
+//! thresholds for one data set are rejected at parse time.
+
+use super::lexer::is_bare_word;
+use super::parser::RESERVED_WORDS;
+use crate::query::{Clause, RelationshipQuery};
+use crate::significance::PermutationScheme;
+use polygamy_stdata::Resolution;
+use polygamy_topology::FeatureClass;
+use std::fmt::Write;
+
+/// Prints a query in canonical PQL.
+///
+/// ```
+/// use polygamy_core::pql::to_pql;
+/// use polygamy_core::prelude::*;
+///
+/// let query = RelationshipQuery::between(&["taxi", "weather"], &["gas-prices"])
+///     .with_clause(Clause::default().min_score(0.6).class(FeatureClass::Salient));
+/// assert_eq!(
+///     to_pql(&query),
+///     "between taxi, weather and gas-prices where score >= 0.6 and class = salient"
+/// );
+/// ```
+pub fn to_pql(query: &RelationshipQuery) -> String {
+    let mut out = format!(
+        "between {} and {}",
+        collection(&query.left),
+        collection(&query.right)
+    );
+    let preds = predicates(&query.clause);
+    if !preds.is_empty() {
+        out.push_str(" where ");
+        out.push_str(&preds.join(" and "));
+    }
+    out
+}
+
+/// Prints a resolution as its PQL name (`city-hour`, `zip-day`, …).
+pub fn resolution_name(r: Resolution) -> String {
+    format!("{}-{}", r.spatial.label(), r.temporal.label())
+}
+
+fn collection(c: &Option<Vec<String>>) -> String {
+    match c {
+        None => "*".to_string(),
+        // An explicitly empty collection (matches nothing) keeps its
+        // parenthesised spelling so `*` stays unambiguous.
+        Some(names) if names.is_empty() => "()".to_string(),
+        Some(names) => names
+            .iter()
+            .map(|n| dataset(n))
+            .collect::<Vec<_>>()
+            .join(", "),
+    }
+}
+
+/// Quotes a data-set name unless it lexes as one bare, non-reserved word.
+fn dataset(name: &str) -> String {
+    if is_bare_word(name) && !RESERVED_WORDS.contains(&name) {
+        name.to_string()
+    } else {
+        // Newlines MUST be escaped (strings cannot span lines, and batch
+        // files are line-oriented); tab/CR ride along for hygiene.
+        let escaped = name
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+            .replace('\t', "\\t")
+            .replace('\r', "\\r");
+        format!("\"{escaped}\"")
+    }
+}
+
+fn predicates(c: &Clause) -> Vec<String> {
+    let d = Clause::default();
+    let mut out = Vec::new();
+    if c.min_score != d.min_score {
+        out.push(format!("score >= {}", c.min_score));
+    }
+    if c.min_strength != d.min_strength {
+        out.push(format!("strength >= {}", c.min_strength));
+    }
+    match c.class {
+        None => {}
+        Some(FeatureClass::Salient) => out.push("class = salient".to_string()),
+        Some(FeatureClass::Extreme) => out.push("class = extreme".to_string()),
+    }
+    if c.alpha != d.alpha {
+        out.push(format!("alpha = {}", c.alpha));
+    }
+    if c.permutations != d.permutations {
+        out.push(format!("permutations = {}", c.permutations));
+    }
+    match &c.resolutions {
+        None => {}
+        Some(rs) if rs.len() == 1 => {
+            out.push(format!("resolution = {}", resolution_name(rs[0])));
+        }
+        Some(rs) => {
+            let names: Vec<String> = rs.iter().map(|&r| resolution_name(r)).collect();
+            out.push(format!("resolution in ({})", names.join(", ")));
+        }
+    }
+    for t in &c.thresholds {
+        let mut p = String::new();
+        write!(
+            p,
+            "thresholds {} ({}, {})",
+            dataset(&t.dataset),
+            t.theta_pos,
+            t.theta_neg
+        )
+        .expect("writing to String cannot fail");
+        out.push(p);
+    }
+    match c.scheme {
+        None => {}
+        Some(PermutationScheme::Paper) => out.push("scheme = paper".to_string()),
+        Some(PermutationScheme::SpatioTemporal) => {
+            out.push("scheme = spatiotemporal".to_string());
+        }
+    }
+    if !c.significant_only {
+        out.push("include insignificant".to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_query;
+    use super::*;
+    use polygamy_stdata::{SpatialResolution, TemporalResolution};
+
+    #[test]
+    fn default_query_prints_bare() {
+        assert_eq!(to_pql(&RelationshipQuery::all()), "between * and *");
+        assert_eq!(to_pql(&RelationshipQuery::of("taxi")), "between taxi and *");
+    }
+
+    #[test]
+    fn canonical_predicate_order_is_fixed() {
+        let q = RelationshipQuery::all().with_clause(
+            Clause::default()
+                .include_insignificant()
+                .permutations(77)
+                .min_score(0.25),
+        );
+        assert_eq!(
+            to_pql(&q),
+            "between * and * where score >= 0.25 and permutations = 77 \
+             and include insignificant"
+        );
+    }
+
+    #[test]
+    fn quoting_kicks_in_only_when_needed() {
+        let q = RelationshipQuery::between(&["gas-prices", "with space", "and"], &["x"]);
+        assert_eq!(
+            to_pql(&q),
+            r#"between gas-prices, "with space", "and" and x"#
+        );
+        let weird = RelationshipQuery::of(r#"q"uote\back"#);
+        assert_eq!(to_pql(&weird), r#"between "q\"uote\\back" and *"#);
+    }
+
+    #[test]
+    fn empty_collection_prints_parenthesised() {
+        let q = RelationshipQuery {
+            left: Some(vec![]),
+            right: None,
+            clause: Clause::default(),
+        };
+        assert_eq!(to_pql(&q), "between () and *");
+    }
+
+    #[test]
+    fn resolutions_print_singular_and_list_forms() {
+        let city_hour = Resolution::new(SpatialResolution::City, TemporalResolution::Hour);
+        let zip_day = Resolution::new(SpatialResolution::Zip, TemporalResolution::Day);
+        let one = RelationshipQuery::all().with_clause(Clause::default().at_resolution(city_hour));
+        assert_eq!(to_pql(&one), "between * and * where resolution = city-hour");
+        let two = RelationshipQuery::all().with_clause(
+            Clause::default()
+                .at_resolution(city_hour)
+                .at_resolution(zip_day),
+        );
+        assert_eq!(
+            to_pql(&two),
+            "between * and * where resolution in (city-hour, zip-day)"
+        );
+    }
+
+    #[test]
+    fn print_parse_round_trips_a_kitchen_sink_query() {
+        let q = RelationshipQuery::between(&["taxi", "weather"], &["gas-prices"]).with_clause(
+            Clause::default()
+                .min_score(0.6)
+                .min_strength(0.4)
+                .class(FeatureClass::Extreme)
+                .alpha(0.01)
+                .permutations(2000)
+                .at_resolution(Resolution::new(
+                    SpatialResolution::City,
+                    TemporalResolution::Hour,
+                ))
+                .with_thresholds("taxi", 1.5, -1.5)
+                .with_scheme(PermutationScheme::SpatioTemporal)
+                .include_insignificant(),
+        );
+        let printed = to_pql(&q);
+        let reparsed = parse_query(&printed).expect("canonical output parses");
+        assert_eq!(reparsed, q);
+        // Printing is idempotent: canonical text prints back to itself.
+        assert_eq!(to_pql(&reparsed), printed);
+    }
+}

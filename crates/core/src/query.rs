@@ -26,6 +26,28 @@ pub struct DatasetThresholds {
 }
 
 /// Filter conditions applied to candidate relationships.
+///
+/// Defaults follow the paper: α = 0.05, |m| = 1,000 permutations, both
+/// feature classes, all common resolutions, significant results only.
+/// Builders compose left to right, and the whole clause has a canonical
+/// PQL spelling (see [`crate::pql`]):
+///
+/// ```
+/// use polygamy_core::prelude::*;
+/// use polygamy_core::to_pql;
+///
+/// let clause = Clause::default()
+///     .min_score(0.6)
+///     .class(FeatureClass::Salient)
+///     .permutations(2_000);
+/// assert_eq!(clause.alpha, 0.05); // paper default, untouched
+/// assert!(clause.admits_class(FeatureClass::Salient));
+/// assert!(!clause.admits_class(FeatureClass::Extreme));
+/// assert_eq!(
+///     to_pql(&RelationshipQuery::all().with_clause(clause)),
+///     "between * and * where score >= 0.6 and class = salient and permutations = 2000"
+/// );
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Clause {
     /// Minimum |τ| (0 disables).
@@ -183,6 +205,28 @@ impl Clause {
 
 /// A relationship query: left collection × right collection, filtered by a
 /// clause. `None` collections mean "the whole corpus".
+///
+/// The three constructors cover the paper's query shapes, and every query
+/// round-trips through its textual PQL form:
+///
+/// ```
+/// use polygamy_core::prelude::*;
+/// use polygamy_core::{parse_query, to_pql};
+///
+/// // Hypothesis generation: relate everything to everything.
+/// let all = RelationshipQuery::all();
+/// // "Find all data sets related to taxi."
+/// let of = RelationshipQuery::of("taxi");
+/// // Hypothesis testing between explicit collections.
+/// let between = RelationshipQuery::between(&["taxi"], &["weather", "gas-prices"]);
+///
+/// assert_eq!(parse_query("between * and *").unwrap(), all);
+/// assert_eq!(parse_query(&to_pql(&of)).unwrap(), of);
+/// assert_eq!(
+///     to_pql(&between),
+///     "between taxi and weather, gas-prices"
+/// );
+/// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RelationshipQuery {
     /// D1 (None = all indexed data sets).

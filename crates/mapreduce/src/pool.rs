@@ -2,8 +2,8 @@
 //!
 //! Tasks are indexed work items pulled off a shared atomic counter by a
 //! fixed number of worker threads — the same self-scheduling model Hadoop
-//! task trackers use within a node, and the mechanism by which [`Cluster`]
-//! (see [`crate::cluster`]) bounds parallelism.
+//! task trackers use within a node, and the mechanism by which
+//! [`crate::cluster::Cluster`] bounds parallelism.
 //!
 //! [`run_chunked_tasks`] is the general form: workers claim contiguous
 //! *chunks* of task indices, which amortises counter and channel traffic

@@ -8,15 +8,30 @@ pub enum Error {
     /// An attribute name was looked up that the data set does not define.
     UnknownAttribute(String),
     /// Records were added whose attribute count does not match the schema.
-    SchemaMismatch { expected: usize, found: usize },
+    SchemaMismatch {
+        /// Attribute count the data set schema declares.
+        expected: usize,
+        /// Attribute count the offending record carried.
+        found: usize,
+    },
     /// A resolution conversion was requested that the DAG does not permit.
-    IncompatibleResolution { from: String, to: String },
+    IncompatibleResolution {
+        /// Label of the source resolution.
+        from: String,
+        /// Label of the requested target resolution.
+        to: String,
+    },
     /// A data set contained no records inside the requested window.
     EmptyDomain,
     /// A polygon or partition was structurally invalid.
     InvalidGeometry(String),
     /// A time range was empty or inverted.
-    InvalidTimeRange { start: i64, end: i64 },
+    InvalidTimeRange {
+        /// Inclusive start timestamp.
+        start: i64,
+        /// Exclusive end timestamp.
+        end: i64,
+    },
 }
 
 impl fmt::Display for Error {

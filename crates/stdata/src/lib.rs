@@ -15,11 +15,13 @@
 //! * [`ScalarField`] — the discrete representation of a time-varying scalar
 //!   function `f : S × T → R` (paper Section 2.1), and the aggregation
 //!   machinery that derives *count* and *attribute* functions from raw
-//!   records (paper Section 5.1) ([`aggregate`]).
+//!   records (paper Section 5.1) ([`mod@aggregate`]).
 //!
 //! The substrate is deliberately self-contained: the topology and framework
 //! crates consume only [`ScalarField`]s and partition adjacency, never raw
 //! records.
+
+#![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod dataset;

@@ -1,5 +1,5 @@
-//! The `polygamy-store` command line: build, inspect and query store
-//! files.
+//! The `polygamy-store` command line: build, inspect, query and serve
+//! store files.
 //!
 //! ```text
 //! polygamy-store build <path> [--quick] [--years N] [--scale S] [--no-fields]
@@ -8,6 +8,9 @@
 //!                [--min-score X] [--include-insignificant]
 //! polygamy-store query <path> --batch <left:right>... [--permutations N]
 //!                [--min-score X] [--include-insignificant]
+//! polygamy-store query <path> --pql "<query>"
+//! polygamy-store query <path> --file <queries.pql>
+//! polygamy-store repl <path>
 //! ```
 //!
 //! `--no-fields` drops the raw scalar fields from the index (features and
@@ -21,11 +24,19 @@
 //! of `left:right` pairs through `StoreSession::query_many`, which runs
 //! every pair's candidate evaluations on one shared worker pool instead of
 //! paying session and pool startup per query.
+//!
+//! `--pql` takes a full PQL query (see `docs/pql.md`) — collections *and*
+//! clause in one string, so none of the ad-hoc clause flags apply.
+//! `--file` compiles a PQL batch file (one query per line, `#` comments)
+//! straight into the same shared-pool `query_many` path. `repl` serves
+//! parsed PQL queries interactively from one long-lived session: parse
+//! errors print caret diagnostics and leave the session running.
 
 use polygamy_core::prelude::*;
 use polygamy_core::DataPolygamy;
 use polygamy_datagen::{urban_collection, UrbanConfig};
 use polygamy_store::{Store, StoreSession};
+use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -34,15 +45,19 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("repl") => cmd_repl(&args[1..]),
         _ => {
             eprintln!(
-                "usage: polygamy-store <build|inspect|query> <path> [args]\n\
+                "usage: polygamy-store <build|inspect|query|repl> <path> [args]\n\
                  \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields]\n\
                  \x20 inspect <path>\n\
                  \x20 query <path> <left> <right> [--permutations N] \
                  [--min-score X] [--include-insignificant]\n\
                  \x20 query <path> --batch <left:right>... [--permutations N] \
-                 [--min-score X] [--include-insignificant]"
+                 [--min-score X] [--include-insignificant]\n\
+                 \x20 query <path> --pql \"between taxi and * where score >= 0.6\"\n\
+                 \x20 query <path> --file <queries.pql>\n\
+                 \x20 repl <path>"
             );
             return ExitCode::FAILURE;
         }
@@ -161,10 +176,13 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 /// The query flags that consume a value — the single source of truth for
 /// both clause parsing and positional-argument scanning, so adding a flag
 /// here keeps its value from being misread as a data set name.
-const QUERY_VALUE_FLAGS: [&str; 2] = ["--permutations", "--min-score"];
+const QUERY_VALUE_FLAGS: [&str; 4] = ["--permutations", "--min-score", "--pql", "--file"];
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("query: missing <path>")?;
+    if args.iter().any(|a| a == "--pql" || a == "--file") {
+        return cmd_query_pql(path, args);
+    }
     let mut clause = Clause::default();
     if let Some(p) = flag_value(args, "--permutations") {
         clause = clause.permutations(
@@ -222,6 +240,141 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `query --pql "<text>"` / `query --file <queries.pql>`: the whole query
+/// — collections and clause — travels as PQL, compiled straight into the
+/// shared-pool `query_many` path.
+fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
+    let text = flag_value(args, "--pql");
+    let file = flag_value(args, "--file");
+    if text.is_some() && file.is_some() {
+        return Err("query: --pql and --file are mutually exclusive".into());
+    }
+    // A PQL query carries its own clause; mixing in the ad-hoc flags would
+    // silently lose one side or the other.
+    for flag in [
+        "--batch",
+        "--permutations",
+        "--min-score",
+        "--include-insignificant",
+    ] {
+        if args.iter().any(|a| a == flag) {
+            return Err(format!(
+                "query: {flag} cannot be combined with --pql/--file; \
+                 express the clause in the query text (see docs/pql.md)"
+            ));
+        }
+    }
+    if !positional_args(&args[1..]).is_empty() {
+        return Err("query: --pql/--file take no positional data-set arguments".into());
+    }
+
+    let queries = match (text, file) {
+        (Some(src), None) => vec![parse_query(&src).map_err(|e| e.render(&src))?],
+        (None, Some(p)) => {
+            let src =
+                std::fs::read_to_string(&p).map_err(|e| format!("query: cannot read {p}: {e}"))?;
+            parse_batch(&src).map_err(|e| e.render(&src))?
+        }
+        // The flag was passed as the last argument, with nothing after it.
+        (None, None) => {
+            return Err("query: --pql expects a query string and --file a path".into());
+        }
+        (Some(_), Some(_)) => unreachable!("rejected above"),
+    };
+    if queries.is_empty() {
+        return Err("query: the batch file contains no queries".into());
+    }
+
+    let session = StoreSession::open(path).map_err(|e| e.to_string())?;
+    // One query_many call: the whole batch shares a single worker pool.
+    let results = session.query_many(&queries).map_err(|e| e.to_string())?;
+    for (query, rels) in queries.iter().zip(&results) {
+        println!("{} relationship(s) for `{}`:", rels.len(), to_pql(query));
+        for rel in rels {
+            println!("  {rel}");
+        }
+    }
+    Ok(())
+}
+
+/// `repl <path>`: an interactive PQL loop over one long-lived serving
+/// session — open the store once, then parse and serve a query per line.
+/// Parse errors render caret diagnostics and keep the session alive.
+fn cmd_repl(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("repl: missing <path>")?;
+    let session = StoreSession::open(path).map_err(|e| e.to_string())?;
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        println!(
+            "polygamy-store repl — {} data set(s) loaded from {path}: {}",
+            session.loaded_datasets().len(),
+            session.loaded_datasets().join(", ")
+        );
+        println!("type a PQL query, or :help / :quit");
+    }
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        if interactive {
+            print!("pql> ");
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+        }
+        line.clear();
+        let read = stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?;
+        if read == 0 {
+            break; // EOF
+        }
+        let input = line.trim();
+        if input.is_empty() || input.starts_with('#') {
+            continue;
+        }
+        match input {
+            ":quit" | ":q" | ":exit" => break,
+            ":help" | ":h" => {
+                println!(
+                    "PQL: between <collection> and <collection> [where <predicates>]\n\
+                     \x20 e.g. between taxi, weather and * where score >= 0.6 and \
+                     class = salient\n\
+                     \x20 see docs/pql.md for the full grammar\n\
+                     commands: :datasets  list served data sets\n\
+                     \x20         :help      this text\n\
+                     \x20         :quit      exit"
+                );
+            }
+            ":datasets" => {
+                for name in session.loaded_datasets() {
+                    println!("{name}");
+                }
+            }
+            _ => repl_eval(&session, input),
+        }
+    }
+    Ok(())
+}
+
+/// Parses and serves one REPL line; failures print and return.
+fn repl_eval(session: &StoreSession, src: &str) {
+    let query = match parse_query(src) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{}", e.render(src));
+            return;
+        }
+    };
+    match session.query(&query) {
+        Ok(rels) => {
+            println!("{} relationship(s) for `{}`:", rels.len(), to_pql(&query));
+            for rel in &rels {
+                println!("  {rel}");
+            }
+        }
+        Err(e) => eprintln!("polygamy-store: {e}"),
+    }
 }
 
 /// The non-flag arguments, with each [`QUERY_VALUE_FLAGS`] value skipped.

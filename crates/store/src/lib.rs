@@ -9,7 +9,10 @@
 //!
 //! ## On-disk format (version 1)
 //!
-//! A store file has four regions:
+//! The normative specification of the format lives in
+//! [`docs/store-format.md`](https://github.com/paper-repro/data-polygamy/blob/main/docs/store-format.md)
+//! at the repository root; this section is the summary. A store file has
+//! four regions:
 //!
 //! ```text
 //! header    40 bytes, fixed: magic "PLGYSTOR", version u32, flags u32,
@@ -70,6 +73,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod codec;
 pub mod error;

@@ -23,6 +23,44 @@ use std::path::Path;
 
 /// A read-only serving session: geometry + materialized index + query
 /// cache.
+///
+/// Index once, save, then serve queries from the file — no raw data and
+/// no rebuild at query time:
+///
+/// ```
+/// use polygamy_core::prelude::*;
+/// use polygamy_core::DataPolygamy;
+/// use polygamy_store::{Store, StoreSession};
+///
+/// // Build a (tiny) index and persist it.
+/// let meta = DatasetMeta {
+///     name: "sensor".into(),
+///     spatial_resolution: SpatialResolution::City,
+///     temporal_resolution: TemporalResolution::Hour,
+///     description: String::new(),
+/// };
+/// let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("signal"));
+/// for h in 0..96i64 {
+///     let v = if h == 30 { 9.0 } else { (h % 24) as f64 * 0.1 };
+///     b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v]).unwrap();
+/// }
+/// let mut dp = DataPolygamy::new(
+///     CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+///     Config::fast_test(),
+/// );
+/// dp.add_dataset(b.build().unwrap());
+/// dp.build_index();
+/// let path = std::env::temp_dir().join(format!("plst-doc-{}.plst", std::process::id()));
+/// Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+///
+/// // Any later process serves queries straight from the file. `query`
+/// // takes `&self`, so one session is shared across reader threads.
+/// let session = StoreSession::open(&path).unwrap();
+/// let query = parse_query("between sensor and * where permutations = 20").unwrap();
+/// assert!(session.query(&query).unwrap().is_empty()); // one data set: no pairs
+/// assert_eq!(session.loaded_datasets(), ["sensor".to_string()]);
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
 #[derive(Debug)]
 pub struct StoreSession {
     geometry: CityGeometry,

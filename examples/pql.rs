@@ -1,0 +1,74 @@
+//! PQL walkthrough: the textual Polygamy Query Language end to end —
+//! parse a query, run it, print it back canonically, compile a batch
+//! file, and see a caret diagnostic for a typo.
+//!
+//! ```text
+//! cargo run --release --example pql
+//! ```
+//!
+//! The full language reference is in `docs/pql.md`.
+
+use polygamy_core::prelude::*;
+use polygamy_core::DataPolygamy;
+
+fn make_dataset(name: &str, level: f64, spikes: &[i64]) -> Dataset {
+    let meta = DatasetMeta {
+        name: name.into(),
+        spatial_resolution: SpatialResolution::City,
+        temporal_resolution: TemporalResolution::Hour,
+        description: format!("pql demo data set {name}"),
+    };
+    let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("signal"));
+    for h in 0..1_200i64 {
+        let rhythm = ((h % 24) as f64 / 24.0 * std::f64::consts::TAU).sin();
+        let spike = if spikes.contains(&h) { 20.0 } else { 0.0 };
+        b.push(
+            GeoPoint::new(0.5, 0.5),
+            h * 3_600,
+            &[level + rhythm + spike],
+        )
+        .expect("schema matches");
+    }
+    b.build().expect("dataset builds")
+}
+
+fn main() {
+    // Index a tiny three-data-set corpus.
+    let spikes = [100i64, 400, 700, 1000];
+    let mut dp = DataPolygamy::new(
+        CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+        Config::default(),
+    );
+    dp.add_dataset(make_dataset("taxi", 10.0, &spikes));
+    dp.add_dataset(make_dataset("weather", -2.0, &spikes));
+    dp.add_dataset(make_dataset("noise", 5.0, &[77, 913]));
+    dp.build_index();
+
+    // 1. One textual query, exactly the paper's Section 5.3 form:
+    //    "find relationships between D1 and D2 satisfying clause".
+    let src = "between taxi and * where score >= 0.5 and permutations = 300";
+    let query = parse_query(src).expect("valid PQL");
+    println!("query : {src}");
+    // The canonical printer is the inverse of the parser.
+    println!("canon : {}", to_pql(&query));
+    for rel in dp.query(&query).expect("query evaluates") {
+        println!("  {rel}");
+    }
+
+    // 2. A batch file: one query per line, `#` comments; the whole batch
+    //    runs on one shared worker pool via query_many.
+    let batch_src = "\
+         # nightly relationship sweep\n\
+         between taxi and weather where permutations = 300\n\
+         between noise and * where class = extreme and permutations = 300\n";
+    let batch = parse_batch(batch_src).expect("valid batch");
+    let results = dp.query_many(&batch).expect("batch evaluates");
+    for (q, rels) in batch.iter().zip(&results) {
+        println!("{} relationship(s) for `{}`", rels.len(), to_pql(q));
+    }
+
+    // 3. Errors carry byte spans and render as caret diagnostics.
+    let typo = "between taxi and * where scor >= 0.5";
+    let err = parse_query(typo).expect_err("typo rejected");
+    println!("\n{}", err.render(typo));
+}

@@ -4,18 +4,21 @@
 //! `tests/` and the runnable walkthroughs under `examples/`; it re-exports
 //! every member crate so downstream code can depend on one package:
 //!
-//! * [`core`](polygamy_core) — the framework: pipeline, index,
-//!   relationship operator, significance testing;
-//! * [`stdata`](polygamy_stdata) — datasets, resolutions, spatial
-//!   partitions, scalar fields;
-//! * [`topology`](polygamy_topology) — merge trees, persistence, level
-//!   sets, feature sets;
-//! * [`stats`](polygamy_stats) — descriptive statistics, 2-means,
-//!   restricted Monte Carlo permutations, baselines;
-//! * [`mapreduce`](polygamy_mapreduce) — the in-process map-reduce
-//!   substrate;
-//! * [`datagen`](polygamy_datagen) — synthetic urban corpora with planted
-//!   ground-truth couplings.
+//! * [`core`] — the framework: pipeline, index, relationship operator,
+//!   significance testing, and the PQL textual query language;
+//! * [`stdata`] — datasets, resolutions, spatial partitions, scalar
+//!   fields;
+//! * [`topology`] — merge trees, persistence, level sets, feature sets;
+//! * [`stats`] — descriptive statistics, 2-means, restricted Monte Carlo
+//!   permutations, baselines;
+//! * [`mapreduce`] — the in-process map-reduce substrate;
+//! * [`datagen`] — synthetic urban corpora with planted ground-truth
+//!   couplings.
+//!
+//! The `docs/` directory holds the prose specifications: the
+//! [architecture overview](https://github.com/paper-repro/data-polygamy/blob/main/docs/architecture.md),
+//! the [PQL language reference](https://github.com/paper-repro/data-polygamy/blob/main/docs/pql.md)
+//! and the [on-disk store format](https://github.com/paper-repro/data-polygamy/blob/main/docs/store-format.md).
 
 pub use polygamy_core as core;
 pub use polygamy_datagen as datagen;
