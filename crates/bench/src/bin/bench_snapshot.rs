@@ -1,0 +1,295 @@
+//! Measures the tracked performance axes and emits a committed
+//! `BENCH_<date>.json` snapshot — the repository's benchmark trajectory.
+//!
+//! ```text
+//! bench_snapshot [--quick] [--out PATH] [--date YYYY-MM-DD]
+//! bench_snapshot --validate PATH
+//! ```
+//!
+//! Measurement covers: index build, store write, store open eager vs lazy
+//! (cold and warm), the lazy path's byte footprint through the first
+//! single-pair query (asserted strictly smaller than an eager open's),
+//! sustained all-pairs query rate serial vs flat-parallel, and PQL parse
+//! latency. `--validate` re-reads an emitted file through the schema
+//! struct — a missing or mistyped key is a parse error — and checks the
+//! snapshot invariants, exiting non-zero on any violation.
+
+use polygamy_bench::snapshot::{
+    today_utc, BenchSnapshot, CorpusInfo, Metrics, SNAPSHOT_SCHEMA_VERSION,
+};
+use polygamy_bench::{human_bytes, timed};
+use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
+use polygamy_core::pql::{parse_query, to_pql};
+use polygamy_core::prelude::*;
+use polygamy_core::{run_query, DataPolygamy};
+use polygamy_datagen::{urban_collection, UrbanConfig};
+use polygamy_mapreduce::Cluster;
+use polygamy_store::{LoadFilter, SourceBackend, Store, StoreSession};
+use std::hint::black_box;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if let Some(path) = flag_value(&args, "--validate") {
+        validate(&path)
+    } else {
+        run(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_snapshot: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("validate: cannot read {path}: {e}"))?;
+    let snap: BenchSnapshot = serde_json::from_str(&text)
+        .map_err(|e| format!("validate: {path} does not match the snapshot schema: {e}"))?;
+    let problems = snap.problems();
+    if !problems.is_empty() {
+        return Err(format!(
+            "validate: {path} violates snapshot invariants:\n  - {}",
+            problems.join("\n  - ")
+        ));
+    }
+    println!(
+        "{path}: valid snapshot (schema v{}, {}, {} data sets, {} segments)",
+        snap.schema_version, snap.date, snap.corpus.n_datasets, snap.corpus.n_segments
+    );
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let quick = polygamy_bench::quick_mode();
+    let date = match flag_value(args, "--date") {
+        Some(d) if polygamy_bench::snapshot::is_iso_date(&d) => d,
+        Some(d) => return Err(format!("--date '{d}' is not YYYY-MM-DD")),
+        None => today_utc(),
+    };
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let permutations = if quick { 40 } else { 200 };
+
+    // ---- Corpus + index build.
+    eprintln!("building corpus (quick = {quick})...");
+    let collection = urban_collection(UrbanConfig {
+        n_years: if quick { 1 } else { 2 },
+        scale: if quick { 0.02 } else { 0.2 },
+        extra_weather_attrs: if quick { 0 } else { 8 },
+        ..UrbanConfig::default()
+    });
+    let mut dp = DataPolygamy::new(
+        collection.geometry().clone(),
+        polygamy_core::framework::Config::default(),
+    );
+    for d in &collection.datasets {
+        dp.add_dataset(d.clone());
+    }
+    let (_, index_build_secs) = timed(|| dp.build_index());
+    let index = dp.index().map_err(|e| e.to_string())?;
+    eprintln!(
+        "indexed {} data sets, {} functions in {index_build_secs:.2}s",
+        collection.datasets.len(),
+        index.functions.len()
+    );
+
+    // ---- Store write.
+    let store_path =
+        std::env::temp_dir().join(format!("bench-snapshot-{}.plst", std::process::id()));
+    let (store, store_write_secs) = timed(|| Store::save(&store_path, dp.geometry(), index));
+    let store = store.map_err(|e| e.to_string())?;
+    let corpus = CorpusInfo {
+        n_datasets: store.manifest().datasets.len(),
+        n_segments: store.manifest().segments.len(),
+        store_bytes: store.file_bytes().map_err(|e| e.to_string())?,
+        n_functions: index.functions.len(),
+    };
+    drop(store);
+    eprintln!(
+        "wrote store: {} in {store_write_secs:.2}s",
+        human_bytes(corpus.store_bytes as usize)
+    );
+
+    let config = polygamy_core::framework::Config::default();
+
+    // ---- Store open: eager, cold then warm, with byte accounting. The
+    // byte counter lives on the Store's source, so open + load are staged
+    // explicitly.
+    let (eager_cold, open_eager_cold_secs) = timed(|| -> Result<_, String> {
+        let store = Store::open(&store_path).map_err(|e| e.to_string())?;
+        let session = StoreSession::from_store(&store, config, &LoadFilter::all())
+            .map_err(|e| e.to_string())?;
+        Ok((session, store.source().bytes_fetched()))
+    });
+    let (eager_session, open_eager_bytes) = eager_cold?;
+    let (warm, open_eager_warm_secs) = timed(|| -> Result<_, String> {
+        let store = Store::open(&store_path).map_err(|e| e.to_string())?;
+        StoreSession::from_store(&store, config, &LoadFilter::all())
+            .map_err(|e| e.to_string())
+    });
+    drop(warm?);
+
+    // ---- Store open: lazy, cold then warm.
+    let (lazy_cold, open_lazy_cold_secs) = timed(|| {
+        StoreSession::open_lazy_with(
+            &store_path,
+            config,
+            &LoadFilter::all(),
+            SourceBackend::default(),
+        )
+        .map_err(|e| e.to_string())
+    });
+    let lazy_session = lazy_cold?;
+    let open_lazy_bytes = lazy_session
+        .lazy_index()
+        .expect("lazy session")
+        .store()
+        .source()
+        .bytes_fetched();
+    let (lazy_warm, open_lazy_warm_secs) = timed(|| {
+        StoreSession::open_lazy_with(
+            &store_path,
+            config,
+            &LoadFilter::all(),
+            SourceBackend::default(),
+        )
+        .map_err(|e| e.to_string())
+    });
+    drop(lazy_warm?);
+    eprintln!(
+        "open: eager {open_eager_cold_secs:.3}s / {} — lazy {open_lazy_cold_secs:.4}s / {}",
+        human_bytes(open_eager_bytes as usize),
+        human_bytes(open_lazy_bytes as usize)
+    );
+
+    // ---- First single-pair query: lazy faults in only that pair.
+    let first = collection
+        .datasets
+        .first()
+        .ok_or("empty corpus")?
+        .meta
+        .name
+        .clone();
+    let second = collection
+        .datasets
+        .get(1)
+        .ok_or("need at least two data sets")?
+        .meta
+        .name
+        .clone();
+    let pair_query = RelationshipQuery::between(&[first.as_str()], &[second.as_str()]).with_clause(
+        Clause::default()
+            .permutations(permutations)
+            .include_insignificant(),
+    );
+    let (lazy_first, first_query_lazy_secs) =
+        timed(|| lazy_session.query(&pair_query).map_err(|e| e.to_string()));
+    let lazy_first = lazy_first?;
+    let lazy_bytes_after_first_query = lazy_session
+        .lazy_index()
+        .expect("lazy session")
+        .store()
+        .source()
+        .bytes_fetched();
+    let (eager_first, first_query_eager_secs) =
+        timed(|| eager_session.query(&pair_query).map_err(|e| e.to_string()));
+    let eager_first = eager_first?;
+    if lazy_first != eager_first {
+        return Err("lazy and eager sessions disagree on the same query".into());
+    }
+    if lazy_bytes_after_first_query >= open_eager_bytes {
+        return Err(format!(
+            "lazy open + first query read {lazy_bytes_after_first_query} bytes, \
+             eager open read {open_eager_bytes} — laziness bought nothing"
+        ));
+    }
+    let (warm_res, warm_query_secs) =
+        timed(|| lazy_session.query(&pair_query).map_err(|e| e.to_string()));
+    let _ = warm_res?;
+    eprintln!(
+        "first pair query: lazy {first_query_lazy_secs:.2}s (total {} read), eager {first_query_eager_secs:.2}s",
+        human_bytes(lazy_bytes_after_first_query as usize)
+    );
+
+    // ---- Sustained all-pairs rate, serial vs flat, on the in-memory index
+    // (disk out of the picture: this measures the evaluation engine).
+    let rate_query = RelationshipQuery::all().with_clause(
+        Clause::default()
+            .permutations(permutations)
+            .include_insignificant(),
+    );
+    let run_with = |cluster: Cluster| {
+        let cfg = polygamy_core::framework::Config {
+            cluster,
+            ..polygamy_core::framework::Config::default()
+        };
+        let cache = QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY);
+        timed(|| run_query(index, dp.geometry(), &cfg, &cache, &rate_query).expect("rate query"))
+    };
+    let (serial_rels, serial_secs) = run_with(Cluster::local(1));
+    let (flat_rels, flat_secs) = run_with(Cluster::host());
+    assert_eq!(serial_rels, flat_rels, "executor is worker-independent");
+    let workers = Cluster::host().workers();
+    eprintln!(
+        "rate: {} relationships — serial {serial_secs:.2}s, flat {flat_secs:.2}s on {workers} workers",
+        flat_rels.len()
+    );
+
+    // ---- PQL parse latency, amortised to a stable microsecond figure.
+    let pql = to_pql(&rate_query);
+    let parse_repeats = 2_000u32;
+    let (_, parse_total) = timed(|| {
+        for _ in 0..parse_repeats {
+            black_box(parse_query(black_box(&pql)).expect("canonical PQL parses"));
+        }
+    });
+
+    let snapshot = BenchSnapshot {
+        schema_version: SNAPSHOT_SCHEMA_VERSION,
+        date,
+        quick,
+        workers,
+        permutations,
+        corpus,
+        metrics: Metrics {
+            index_build_secs,
+            store_write_secs,
+            open_eager_cold_secs,
+            open_eager_warm_secs,
+            open_eager_bytes,
+            open_lazy_cold_secs,
+            open_lazy_warm_secs,
+            open_lazy_bytes,
+            first_query_lazy_secs,
+            lazy_bytes_after_first_query,
+            first_query_eager_secs,
+            warm_query_secs,
+            rate_query_relationships: flat_rels.len(),
+            query_rate_serial_per_min: serial_rels.len() as f64 / serial_secs.max(1e-9) * 60.0,
+            query_rate_flat_per_min: flat_rels.len() as f64 / flat_secs.max(1e-9) * 60.0,
+            pql_parse_us: parse_total * 1e6 / f64::from(parse_repeats),
+        },
+    };
+    let problems = snapshot.problems();
+    if !problems.is_empty() {
+        return Err(format!(
+            "snapshot violates its own invariants:\n  - {}",
+            problems.join("\n  - ")
+        ));
+    }
+    let json = serde_json::to_string(&snapshot).map_err(|e| e.to_string())?;
+    std::fs::write(&out_path, json.as_bytes())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let _ = std::fs::remove_file(&store_path);
+    println!("wrote {out_path}");
+    Ok(())
+}

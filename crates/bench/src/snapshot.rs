@@ -1,0 +1,279 @@
+//! Committed benchmark snapshots: one JSON file per measurement run.
+//!
+//! The `bench_snapshot` binary measures the performance axes this
+//! repository optimises — index build, store open (eager vs lazy, cold vs
+//! warm), first-query fault-in cost in seconds *and bytes*, sustained
+//! query rate (serial vs flat-parallel) and PQL parse latency — and emits
+//! them as a `BENCH_<date>.json` at the repository root. Snapshots are
+//! committed, so `git log -- 'BENCH_*.json'` is the project's performance
+//! trajectory: a regression shows up as a diff, not as a memory.
+//!
+//! The schema is the [`BenchSnapshot`] struct below. Validation
+//! (`bench_snapshot --validate <path>`) deserializes the file back into
+//! the struct — a missing or mistyped key is a parse error — and then
+//! sanity-checks the invariants that make a snapshot meaningful (positive
+//! timings, lazy reading strictly fewer bytes than eager).
+
+use serde::{Deserialize, Serialize};
+
+/// Current snapshot schema version. Bump when fields change meaning;
+/// additions that keep old fields valid may keep the version.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Corpus and store shape the metrics were measured against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusInfo {
+    /// Data sets in the indexed corpus.
+    pub n_datasets: usize,
+    /// Function segments in the store directory.
+    pub n_segments: usize,
+    /// Store file size in bytes.
+    pub store_bytes: u64,
+    /// Indexed function entries.
+    pub n_functions: usize,
+}
+
+/// The measured values. Timings are seconds unless the name says
+/// otherwise; byte counts come from the store's `SegmentSource` counter,
+/// so they are payload bytes actually read, not file sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Building the full index from raw data.
+    pub index_build_secs: f64,
+    /// Writing the index as a store file (encode + fsync + rename).
+    pub store_write_secs: f64,
+    /// Eager session open, first time in this process (decodes every
+    /// segment).
+    pub open_eager_cold_secs: f64,
+    /// Eager session open, repeated (OS page cache warm).
+    pub open_eager_warm_secs: f64,
+    /// Bytes one eager open reads (header + manifest + geometry + every
+    /// segment).
+    pub open_eager_bytes: u64,
+    /// Lazy session open, first time (header + manifest + geometry only).
+    pub open_lazy_cold_secs: f64,
+    /// Lazy session open, repeated.
+    pub open_lazy_warm_secs: f64,
+    /// Bytes a lazy open reads before any query.
+    pub open_lazy_bytes: u64,
+    /// First single-pair query on a fresh lazy session (faults in that
+    /// pair's segments).
+    pub first_query_lazy_secs: f64,
+    /// Total bytes the lazy session has read after that first query —
+    /// open + faulted segments. Strictly less than `open_eager_bytes`.
+    pub lazy_bytes_after_first_query: u64,
+    /// The same single-pair query on the eager session (no disk I/O).
+    pub first_query_eager_secs: f64,
+    /// Repeating the query on the lazy session (segment + result caches
+    /// warm).
+    pub warm_query_secs: f64,
+    /// Relationships evaluated in the rate query.
+    pub rate_query_relationships: usize,
+    /// All-pairs query throughput, one worker, relationships per minute.
+    pub query_rate_serial_per_min: f64,
+    /// All-pairs query throughput on the flat executor, all host cores.
+    pub query_rate_flat_per_min: f64,
+    /// Compiling the canonical PQL text of the rate query, microseconds.
+    pub pql_parse_us: f64,
+}
+
+/// One committed benchmark measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Schema version ([`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Measurement date, `YYYY-MM-DD` (UTC).
+    pub date: String,
+    /// True when the run used the shrunk quick workload.
+    pub quick: bool,
+    /// Host worker threads available to the flat executor.
+    pub workers: usize,
+    /// Monte Carlo permutations used by the rate query.
+    pub permutations: usize,
+    /// Shape of the measured corpus/store.
+    pub corpus: CorpusInfo,
+    /// The measured values.
+    pub metrics: Metrics,
+}
+
+impl BenchSnapshot {
+    /// Checks the invariants that make a snapshot meaningful. Returns a
+    /// list of violations (empty = valid).
+    pub fn problems(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.schema_version != SNAPSHOT_SCHEMA_VERSION {
+            out.push(format!(
+                "schema_version {} (this build reads {SNAPSHOT_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if !is_iso_date(&self.date) {
+            out.push(format!("date '{}' is not YYYY-MM-DD", self.date));
+        }
+        if self.workers == 0 {
+            out.push("workers = 0".into());
+        }
+        if self.corpus.n_datasets == 0 || self.corpus.n_segments == 0 {
+            out.push("empty corpus".into());
+        }
+        let m = &self.metrics;
+        for (name, v) in [
+            ("index_build_secs", m.index_build_secs),
+            ("store_write_secs", m.store_write_secs),
+            ("open_eager_cold_secs", m.open_eager_cold_secs),
+            ("open_eager_warm_secs", m.open_eager_warm_secs),
+            ("open_lazy_cold_secs", m.open_lazy_cold_secs),
+            ("open_lazy_warm_secs", m.open_lazy_warm_secs),
+            ("first_query_lazy_secs", m.first_query_lazy_secs),
+            ("first_query_eager_secs", m.first_query_eager_secs),
+            ("warm_query_secs", m.warm_query_secs),
+            ("query_rate_serial_per_min", m.query_rate_serial_per_min),
+            ("query_rate_flat_per_min", m.query_rate_flat_per_min),
+            ("pql_parse_us", m.pql_parse_us),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                out.push(format!("{name} = {v} (expected finite > 0)"));
+            }
+        }
+        if m.open_eager_bytes == 0 || m.open_lazy_bytes == 0 {
+            out.push("zero byte counts".into());
+        }
+        if m.open_lazy_bytes >= m.open_eager_bytes {
+            out.push(format!(
+                "lazy open read {} bytes, eager {} — laziness bought nothing",
+                m.open_lazy_bytes, m.open_eager_bytes
+            ));
+        }
+        if m.lazy_bytes_after_first_query >= m.open_eager_bytes {
+            out.push(format!(
+                "lazy open + first query read {} bytes, eager open {} — \
+                 expected strictly fewer",
+                m.lazy_bytes_after_first_query, m.open_eager_bytes
+            ));
+        }
+        out
+    }
+}
+
+/// True for a `YYYY-MM-DD` string with plausible month/day fields.
+pub fn is_iso_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+        return false;
+    }
+    let digits = |r: std::ops::Range<usize>| s[r].parse::<u32>().ok();
+    match (digits(0..4), digits(5..7), digits(8..10)) {
+        (Some(_), Some(m), Some(d)) => (1..=12).contains(&m) && (1..=31).contains(&d),
+        _ => false,
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, derived from the system clock with
+/// the standard days-to-civil conversion (no date-time dependency).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(secs.div_euclid(86_400));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Converts days since 1970-01-01 to (year, month, day) — Howard Hinnant's
+/// `civil_from_days` algorithm, exact over the proleptic Gregorian
+/// calendar.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // year of era
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // day of year, Mar-based
+    let mp = (5 * doy + 2) / 153; // Mar-based month
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_conversion_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn iso_date_checks() {
+        assert!(is_iso_date("2026-08-07"));
+        assert!(!is_iso_date("2026-8-7"));
+        assert!(!is_iso_date("2026-13-01"));
+        assert!(!is_iso_date("20260807"));
+        assert!(is_iso_date(&today_utc()));
+    }
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            date: "2026-08-07".into(),
+            quick: true,
+            workers: 4,
+            permutations: 40,
+            corpus: CorpusInfo {
+                n_datasets: 9,
+                n_segments: 300,
+                store_bytes: 1_000_000,
+                n_functions: 300,
+            },
+            metrics: Metrics {
+                index_build_secs: 1.0,
+                store_write_secs: 0.1,
+                open_eager_cold_secs: 0.2,
+                open_eager_warm_secs: 0.15,
+                open_eager_bytes: 990_000,
+                open_lazy_cold_secs: 0.001,
+                open_lazy_warm_secs: 0.001,
+                open_lazy_bytes: 10_000,
+                first_query_lazy_secs: 0.05,
+                lazy_bytes_after_first_query: 200_000,
+                first_query_eager_secs: 0.04,
+                warm_query_secs: 0.001,
+                rate_query_relationships: 500,
+                query_rate_serial_per_min: 10_000.0,
+                query_rate_flat_per_min: 40_000.0,
+                pql_parse_us: 3.0,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: BenchSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.problems().is_empty(), "{:?}", back.problems());
+    }
+
+    #[test]
+    fn validation_catches_regressions() {
+        let mut snap = sample();
+        snap.metrics.open_lazy_bytes = snap.metrics.open_eager_bytes;
+        snap.metrics.query_rate_flat_per_min = f64::NAN;
+        let problems = snap.problems();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn missing_keys_fail_to_parse() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        let broken = json.replace("\"pql_parse_us\"", "\"renamed_key\"");
+        assert!(serde_json::from_str::<BenchSnapshot>(&broken).is_err());
+    }
+}

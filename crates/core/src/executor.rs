@@ -23,9 +23,9 @@
 //! appearing several times in one batch are evaluated once.
 
 use crate::cache::QueryCache;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::framework::{CityGeometry, Config};
-use crate::index::PolygamyIndex;
+use crate::index::{DatasetEntry, IndexView};
 use crate::operator::{evaluate_unit, expand_pair_tasks, UnitTask};
 use crate::query::RelationshipQuery;
 use crate::relationship::Relationship;
@@ -78,9 +78,47 @@ pub(crate) fn sort_relationships(rels: &mut [Relationship]) {
     });
 }
 
-/// Evaluates a batch of relationship queries against an index on one shared
-/// worker pool — the read path behind `DataPolygamy::{query, query_many}`
-/// and `StoreSession::{query, query_many}`.
+/// Resolves one collection of a query against a catalog: `None` ranges
+/// over every cataloged data set, explicit names must resolve.
+fn resolve_collection(
+    datasets: &[DatasetEntry],
+    names: &Option<Vec<String>>,
+) -> Result<Vec<usize>> {
+    match names {
+        None => Ok((0..datasets.len()).collect()),
+        Some(list) => list
+            .iter()
+            .map(|n| {
+                datasets
+                    .iter()
+                    .position(|d| d.meta.name == *n)
+                    .ok_or_else(|| Error::UnknownDataset(n.clone()))
+            })
+            .collect(),
+    }
+}
+
+/// The catalog indices a query's task expansion will touch — every data
+/// set named (or ranged over) by either collection, deduplicated and
+/// sorted.
+///
+/// This is the executor's *footprint report*: a demand-paged store
+/// session calls it before evaluation to fault in exactly the function
+/// segments the expansion can reach — combined with
+/// [`Clause::admits_resolution`](crate::query::Clause::admits_resolution)
+/// per segment — instead of materializing the whole store. Unknown names
+/// yield the same [`Error::UnknownDataset`] the evaluation itself would.
+pub fn query_datasets(datasets: &[DatasetEntry], query: &RelationshipQuery) -> Result<Vec<usize>> {
+    let mut touched: Vec<usize> = resolve_collection(datasets, &query.left)?;
+    touched.extend(resolve_collection(datasets, &query.right)?);
+    touched.sort_unstable();
+    touched.dedup();
+    Ok(touched)
+}
+
+/// Evaluates a batch of relationship queries against an index view on one
+/// shared worker pool — the read path behind `DataPolygamy::{query,
+/// query_many}` and `StoreSession::{query, query_many}`.
 ///
 /// Returns one result vector per input query, in input order. Pairs are
 /// deduplicated within each query (the operator is symmetric up to swapping
@@ -88,7 +126,7 @@ pub(crate) fn sort_relationships(rels: &mut [Relationship]) {
 /// per-pair results are served from `cache` keyed by the clause
 /// fingerprint and inserted on evaluation.
 pub(crate) fn execute_queries(
-    index: &PolygamyIndex,
+    index: &IndexView<'_>,
     geometry: &CityGeometry,
     config: &Config,
     cache: &QueryCache,
@@ -96,10 +134,7 @@ pub(crate) fn execute_queries(
 ) -> Result<Vec<Vec<Relationship>>> {
     // ---- Plan: resolve names, canonicalise pairs, split hits from misses.
     let resolve = |names: &Option<Vec<String>>| -> Result<Vec<usize>> {
-        match names {
-            None => Ok((0..index.datasets.len()).collect()),
-            Some(list) => list.iter().map(|n| index.dataset_index(n)).collect(),
-        }
+        resolve_collection(index.datasets(), names)
     };
     let mut misses: Vec<Miss> = Vec::new();
     let mut miss_of: HashMap<(usize, usize, u64), usize> = HashMap::new();

@@ -9,7 +9,7 @@
 use crate::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
 use crate::error::{Error, Result};
 use crate::executor::execute_queries;
-use crate::index::{DatasetEntry, FunctionEntry, PolygamyIndex};
+use crate::index::{DatasetEntry, FunctionEntry, IndexView, PolygamyIndex};
 use crate::pipeline::{compute_scalar_functions, identify_features};
 use crate::query::RelationshipQuery;
 use crate::relationship::Relationship;
@@ -329,6 +329,25 @@ pub fn run_query(
     cache: &QueryCache,
     query: &RelationshipQuery,
 ) -> Result<Vec<Relationship>> {
+    run_query_view(&IndexView::full(index), geometry, config, cache, query)
+}
+
+/// Evaluates a relationship query against an [`IndexView`] — the same read
+/// path as [`run_query`], but over a borrowed (possibly partial) set of
+/// entries.
+///
+/// This is what makes demand-paged serving possible: a lazy store session
+/// pins only the entries the query's expansion touches (see
+/// [`crate::query_datasets`]) and evaluates without materializing the rest
+/// of the store. Results are identical to [`run_query`] over a full index
+/// whenever the view contains every entry the expansion reaches.
+pub fn run_query_view(
+    index: &IndexView<'_>,
+    geometry: &CityGeometry,
+    config: &Config,
+    cache: &QueryCache,
+    query: &RelationshipQuery,
+) -> Result<Vec<Relationship>> {
     Ok(
         execute_queries(index, geometry, config, cache, std::slice::from_ref(query))?
             .pop()
@@ -346,6 +365,20 @@ pub fn run_query(
 /// batch.
 pub fn run_query_many(
     index: &PolygamyIndex,
+    geometry: &CityGeometry,
+    config: &Config,
+    cache: &QueryCache,
+    queries: &[RelationshipQuery],
+) -> Result<Vec<Vec<Relationship>>> {
+    execute_queries(&IndexView::full(index), geometry, config, cache, queries)
+}
+
+/// Evaluates a batch of relationship queries against an [`IndexView`] on
+/// one shared worker pool — the batched twin of [`run_query_view`], with
+/// the same partial-view semantics and the same batch amortisation as
+/// [`run_query_many`].
+pub fn run_query_many_view(
+    index: &IndexView<'_>,
     geometry: &CityGeometry,
     config: &Config,
     cache: &QueryCache,

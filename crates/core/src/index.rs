@@ -109,6 +109,72 @@ pub struct PolygamyIndex {
     pub functions: Vec<FunctionEntry>,
 }
 
+/// A borrowed, possibly partial view of an index: the full catalog plus
+/// any subset of function entries.
+///
+/// The read path (`run_query_view` / the flat executor) only ever needs
+/// the catalog and the entries a query's task expansion touches, so a
+/// caller that pages entries in on demand — `polygamy_store`'s lazy
+/// sessions — can pin just those entries and evaluate without ever
+/// materializing a whole [`PolygamyIndex`].
+///
+/// **Determinism contract:** `entries` must be in a canonical order that
+/// does not depend on which subset is present (e.g. the store's manifest
+/// order, or [`PolygamyIndex::functions`] order). Task expansion iterates
+/// entries in the order given here; a subset presented in the same
+/// relative order as the full set therefore expands to the same task list
+/// and produces byte-identical results.
+#[derive(Debug)]
+pub struct IndexView<'a> {
+    datasets: &'a [DatasetEntry],
+    entries: Vec<&'a FunctionEntry>,
+}
+
+impl<'a> IndexView<'a> {
+    /// A view over an explicit catalog and entry subset (see the
+    /// determinism contract on [`IndexView`]).
+    pub fn new(datasets: &'a [DatasetEntry], entries: Vec<&'a FunctionEntry>) -> Self {
+        Self { datasets, entries }
+    }
+
+    /// The view of a fully materialized index.
+    pub fn full(index: &'a PolygamyIndex) -> Self {
+        Self {
+            datasets: &index.datasets,
+            entries: index.functions.iter().collect(),
+        }
+    }
+
+    /// The data set catalog.
+    pub fn datasets(&self) -> &'a [DatasetEntry] {
+        self.datasets
+    }
+
+    /// Index of a data set by name.
+    pub fn dataset_index(&self, name: &str) -> Result<usize> {
+        self.datasets
+            .iter()
+            .position(|d| d.meta.name == name)
+            .ok_or_else(|| Error::UnknownDataset(name.to_string()))
+    }
+
+    /// The function entries of one data set, in view order.
+    pub fn functions_of(
+        &self,
+        dataset_index: usize,
+    ) -> impl Iterator<Item = &'a FunctionEntry> + '_ {
+        self.entries
+            .iter()
+            .copied()
+            .filter(move |f| f.dataset_index == dataset_index)
+    }
+
+    /// Number of entries present in the view.
+    pub fn n_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 impl PolygamyIndex {
     /// Index of a data set by name.
     pub fn dataset_index(&self, name: &str) -> Result<usize> {

@@ -49,9 +49,13 @@ pub mod significance;
 
 pub use cache::{Fnv1a, QueryCache, ShardedLruCache};
 pub use error::{Error, Result};
-pub use framework::{index_dataset, run_query, run_query_many, CityGeometry, Config, DataPolygamy};
+pub use executor::query_datasets;
+pub use framework::{
+    index_dataset, run_query, run_query_many, run_query_many_view, run_query_view, CityGeometry,
+    Config, DataPolygamy,
+};
 pub use function::{FunctionRef, FunctionSpec};
-pub use index::{DatasetEntry, FunctionEntry, IndexStats, PolygamyIndex};
+pub use index::{DatasetEntry, FunctionEntry, IndexStats, IndexView, PolygamyIndex};
 pub use operator::relation;
 pub use pql::{parse_batch, parse_query, to_pql, PqlError, PqlErrorKind};
 pub use query::{Clause, RelationshipQuery};

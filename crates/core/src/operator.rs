@@ -19,7 +19,7 @@ use crate::error::{Error, Result};
 use crate::executor::task_chunk_size;
 use crate::framework::{CityGeometry, Config};
 use crate::function::FunctionRef;
-use crate::index::{FunctionEntry, PolygamyIndex};
+use crate::index::{FunctionEntry, IndexView, PolygamyIndex};
 use crate::query::Clause;
 use crate::relationship::{evaluate_features, Relationship};
 use crate::significance::significance_test;
@@ -57,7 +57,7 @@ pub(crate) struct UnitTask<'a> {
 /// resolution with no geometry partition is a typed
 /// [`Error::MissingGeometry`], never a worker panic.
 pub(crate) fn expand_pair_tasks<'a>(
-    index: &'a PolygamyIndex,
+    index: &IndexView<'a>,
     geometry: &'a CityGeometry,
     d1: usize,
     d2: usize,
@@ -117,7 +117,14 @@ pub fn relation(
     clause: &Clause,
 ) -> Result<Vec<Relationship>> {
     let mut tasks = Vec::new();
-    expand_pair_tasks(index, geometry, d1, d2, clause, &mut tasks)?;
+    expand_pair_tasks(
+        &IndexView::full(index),
+        geometry,
+        d1,
+        d2,
+        clause,
+        &mut tasks,
+    )?;
     let workers = config.cluster.workers();
     let results = run_chunked_tasks(
         workers,

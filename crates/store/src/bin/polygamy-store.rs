@@ -3,14 +3,14 @@
 //!
 //! ```text
 //! polygamy-store build <path> [--quick] [--years N] [--scale S] [--no-fields]
-//! polygamy-store inspect <path>
+//! polygamy-store inspect <path> [--verify]
 //! polygamy-store query <path> <left> <right> [--permutations N]
-//!                [--min-score X] [--include-insignificant]
+//!                [--min-score X] [--include-insignificant] [--lazy [--mmap]]
 //! polygamy-store query <path> --batch <left:right>... [--permutations N]
-//!                [--min-score X] [--include-insignificant]
-//! polygamy-store query <path> --pql "<query>"
-//! polygamy-store query <path> --file <queries.pql>
-//! polygamy-store repl <path>
+//!                [--min-score X] [--include-insignificant] [--lazy [--mmap]]
+//! polygamy-store query <path> --pql "<query>" [--lazy [--mmap]]
+//! polygamy-store query <path> --file <queries.pql> [--lazy [--mmap]]
+//! polygamy-store repl <path> [--lazy [--mmap]]
 //! ```
 //!
 //! `--no-fields` drops the raw scalar fields from the index (features and
@@ -19,11 +19,19 @@
 //!
 //! `build` indexes the synthetic urban corpus from `polygamy_datagen` and
 //! writes it as a store; `inspect` prints the header, catalog and segment
-//! directory without decoding any segment; `query` opens a serving session
+//! directory without decoding any segment (`--verify` additionally reads
+//! every segment and checks its checksum); `query` opens a serving session
 //! and evaluates one relationship query — or, with `--batch`, a whole list
 //! of `left:right` pairs through `StoreSession::query_many`, which runs
 //! every pair's candidate evaluations on one shared worker pool instead of
 //! paying session and pool startup per query.
+//!
+//! `--lazy` opens the session demand-paged: segments are read (and their
+//! checksums verified) only when a query touches them, so open cost is
+//! O(header + manifest + geometry) regardless of corpus size. `--mmap`
+//! additionally serves segment bytes as borrowed views of a read-only
+//! memory map instead of copying them (Unix; falls back to positioned
+//! reads elsewhere). Results are byte-identical to the default eager mode.
 //!
 //! `--pql` takes a full PQL query (see `docs/pql.md`) — collections *and*
 //! clause in one string, so none of the ad-hoc clause flags apply.
@@ -35,7 +43,7 @@
 use polygamy_core::prelude::*;
 use polygamy_core::DataPolygamy;
 use polygamy_datagen::{urban_collection, UrbanConfig};
-use polygamy_store::{Store, StoreSession};
+use polygamy_store::{LazyIndex, LoadFilter, SourceBackend, Store, StoreSession};
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
 
@@ -50,14 +58,15 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: polygamy-store <build|inspect|query|repl> <path> [args]\n\
                  \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields]\n\
-                 \x20 inspect <path>\n\
+                 \x20 inspect <path> [--verify]\n\
                  \x20 query <path> <left> <right> [--permutations N] \
-                 [--min-score X] [--include-insignificant]\n\
+                 [--min-score X] [--include-insignificant] [--lazy [--mmap]]\n\
                  \x20 query <path> --batch <left:right>... [--permutations N] \
-                 [--min-score X] [--include-insignificant]\n\
-                 \x20 query <path> --pql \"between taxi and * where score >= 0.6\"\n\
-                 \x20 query <path> --file <queries.pql>\n\
-                 \x20 repl <path>"
+                 [--min-score X] [--include-insignificant] [--lazy [--mmap]]\n\
+                 \x20 query <path> --pql \"between taxi and * where score >= 0.6\" \
+                 [--lazy [--mmap]]\n\
+                 \x20 query <path> --file <queries.pql> [--lazy [--mmap]]\n\
+                 \x20 repl <path> [--lazy [--mmap]]"
             );
             return ExitCode::FAILURE;
         }
@@ -159,7 +168,9 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         );
     }
     println!("segments ({}):", manifest.segments.len());
+    let mut payload_total: u64 = 0;
     for s in &manifest.segments {
+        payload_total += s.loc.len;
         println!(
             "  {:<14} {:<14} {:<22} offset {:>10} len {:>9} fnv {:#018x}",
             manifest.datasets[s.dataset_index].meta.name,
@@ -170,7 +181,42 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
             s.loc.checksum,
         );
     }
+    println!(
+        "segment payload: {payload_total} bytes across {} segment(s), geometry {} bytes",
+        manifest.segments.len(),
+        manifest.geometry.len
+    );
+    if args.iter().any(|a| a == "--verify") {
+        // Route the force-check through the demand-paged reader so the
+        // exact serving read path is what gets exercised.
+        let lazy = LazyIndex::new(store, &LoadFilter::all()).map_err(|e| e.to_string())?;
+        let checked = lazy.verify_all().map_err(|e| e.to_string())?;
+        println!(
+            "verify: geometry + {checked} segment(s) OK ({} bytes read)",
+            lazy.store().source().bytes_fetched()
+        );
+    }
     Ok(())
+}
+
+/// The session open mode requested by `--lazy` / `--mmap`.
+fn open_session(path: &str, args: &[String]) -> Result<StoreSession, String> {
+    let lazy = args.iter().any(|a| a == "--lazy");
+    let mmap = args.iter().any(|a| a == "--mmap");
+    if mmap && !lazy {
+        return Err("--mmap requires --lazy (the eager loader copies segments anyway)".into());
+    }
+    if lazy {
+        let backend = if mmap {
+            SourceBackend::Mmap
+        } else {
+            SourceBackend::PositionedRead
+        };
+        StoreSession::open_lazy_with(path, Config::default(), &LoadFilter::all(), backend)
+            .map_err(|e| e.to_string())
+    } else {
+        StoreSession::open(path).map_err(|e| e.to_string())
+    }
 }
 
 /// The query flags that consume a value — the single source of truth for
@@ -224,7 +270,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         vec![(left.to_string(), right.to_string())]
     };
 
-    let session = StoreSession::open(path).map_err(|e| e.to_string())?;
+    let session = open_session(path, args)?;
     let queries: Vec<RelationshipQuery> = pairs
         .iter()
         .map(|(l, r)| {
@@ -287,7 +333,7 @@ fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
         return Err("query: the batch file contains no queries".into());
     }
 
-    let session = StoreSession::open(path).map_err(|e| e.to_string())?;
+    let session = open_session(path, args)?;
     // One query_many call: the whole batch shares a single worker pool.
     let results = session.query_many(&queries).map_err(|e| e.to_string())?;
     for (query, rels) in queries.iter().zip(&results) {
@@ -304,12 +350,17 @@ fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
 /// Parse errors render caret diagnostics and keep the session alive.
 fn cmd_repl(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("repl: missing <path>")?;
-    let session = StoreSession::open(path).map_err(|e| e.to_string())?;
+    let session = open_session(path, args)?;
     let interactive = std::io::stdin().is_terminal();
     if interactive {
         println!(
-            "polygamy-store repl — {} data set(s) loaded from {path}: {}",
+            "polygamy-store repl — {} data set(s) {} from {path}: {}",
             session.loaded_datasets().len(),
+            if session.is_lazy() {
+                "served lazily"
+            } else {
+                "loaded"
+            },
             session.loaded_datasets().join(", ")
         );
         println!("type a PQL query, or :help / :quit");

@@ -79,10 +79,14 @@
 pub mod codec;
 pub mod error;
 pub mod format;
+pub mod lazy;
 pub mod session;
+pub mod source;
 pub mod store;
 
 pub use error::{Result, StoreError};
 pub use format::{BlobLoc, Header, Manifest, SegmentInfo, VERSION};
+pub use lazy::LazyIndex;
 pub use session::StoreSession;
+pub use source::{SegmentSource, SourceBackend};
 pub use store::{LoadFilter, Store};

@@ -7,21 +7,45 @@
 //! across any number of reader threads; shards keep cache contention low
 //! and the LRU bound keeps memory flat under sustained traffic.
 //!
+//! Sessions come in two read modes with byte-identical query results:
+//!
+//! * **eager** ([`StoreSession::open`]): every admitted segment is read,
+//!   verified and decoded at open time — corruption anywhere in the
+//!   admitted set fails the open, and queries never touch the disk;
+//! * **lazy** ([`StoreSession::open_lazy`]): open reads only header,
+//!   manifest and geometry; each query faults in just the segments its
+//!   footprint touches ([`crate::lazy`]), verifying each exactly once on
+//!   first access. Corruption surfaces at query time, only for queries
+//!   touching the corrupt segment.
+//!
 //! A session built with a data-set [`LoadFilter`] serves only the loaded
 //! data sets: a query naming an unloaded one is a typed
 //! [`StoreError::DatasetNotLoaded`] — never a silently empty result — and
 //! whole-corpus queries range over the loaded subset.
 
 use crate::error::{Result, StoreError};
+use crate::lazy::LazyIndex;
+use crate::source::SourceBackend;
 use crate::store::{LoadFilter, Store};
 use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
-use polygamy_core::index::PolygamyIndex;
+use polygamy_core::index::{DatasetEntry, IndexView, PolygamyIndex};
 use polygamy_core::query::RelationshipQuery;
 use polygamy_core::relationship::Relationship;
-use polygamy_core::{run_query, run_query_many, CityGeometry, Config};
+use polygamy_core::{
+    run_query, run_query_many, run_query_many_view, run_query_view, CityGeometry, Config,
+};
 use std::path::Path;
 
-/// A read-only serving session: geometry + materialized index + query
+/// How a session materializes function segments.
+#[derive(Debug)]
+enum Backing {
+    /// Every admitted segment decoded at open.
+    Eager(PolygamyIndex),
+    /// Segments faulted in per query footprint.
+    Lazy(LazyIndex),
+}
+
+/// A read-only serving session: geometry + (eager or lazy) index + query
 /// cache.
 ///
 /// Index once, save, then serve queries from the file — no raw data and
@@ -59,13 +83,18 @@ use std::path::Path;
 /// let query = parse_query("between sensor and * where permutations = 20").unwrap();
 /// assert!(session.query(&query).unwrap().is_empty()); // one data set: no pairs
 /// assert_eq!(session.loaded_datasets(), ["sensor".to_string()]);
+///
+/// // The lazy session answers the same queries with the same bytes,
+/// // reading segments only when a query touches them.
+/// let lazy = StoreSession::open_lazy(&path).unwrap();
+/// assert!(lazy.query(&query).unwrap().is_empty());
 /// # std::fs::remove_file(&path).unwrap();
 /// ```
 #[derive(Debug)]
 pub struct StoreSession {
     geometry: CityGeometry,
     config: Config,
-    index: PolygamyIndex,
+    backing: Backing,
     /// Names of the data sets whose segments were admitted by the load
     /// filter — the set this session can serve.
     loaded: Vec<String>,
@@ -73,28 +102,61 @@ pub struct StoreSession {
 }
 
 impl StoreSession {
-    /// Opens a session over the whole store with the default configuration.
+    /// Opens an eager session over the whole store with the default
+    /// configuration.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         Self::open_with(path, Config::default(), &LoadFilter::all())
     }
 
-    /// Opens a session with an explicit configuration and load filter —
-    /// only the function segments the filter admits are read off disk.
+    /// Opens an eager session with an explicit configuration and load
+    /// filter — only the function segments the filter admits are read off
+    /// disk.
     pub fn open_with(path: impl AsRef<Path>, config: Config, filter: &LoadFilter) -> Result<Self> {
         Self::from_store(&Store::open(path)?, config, filter)
     }
 
-    /// Builds a session from an already-open store.
+    /// Opens a lazy session over the whole store with the default
+    /// configuration: O(header + manifest + geometry) now, segments
+    /// faulted in per query.
+    pub fn open_lazy(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_lazy_with(
+            path,
+            Config::default(),
+            &LoadFilter::all(),
+            SourceBackend::default(),
+        )
+    }
+
+    /// Opens a lazy session with an explicit configuration, load filter
+    /// and I/O backend ([`SourceBackend::Mmap`] serves segment bytes as
+    /// borrowed views into a read-only mapping).
+    pub fn open_lazy_with(
+        path: impl AsRef<Path>,
+        config: Config,
+        filter: &LoadFilter,
+        backend: SourceBackend,
+    ) -> Result<Self> {
+        let store = Store::open_with_backend(path, backend)?;
+        let lazy = LazyIndex::new(store, filter)?;
+        let geometry = lazy.store().load_geometry()?;
+        let loaded = loaded_names(&lazy.store().manifest().datasets, filter);
+        Ok(Self {
+            geometry,
+            config,
+            backing: Backing::Lazy(lazy),
+            loaded,
+            cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
+        })
+    }
+
+    /// Builds an eager session from an already-open store.
     pub fn from_store(store: &Store, config: Config, filter: &LoadFilter) -> Result<Self> {
         let index = store.load_filtered(filter)?;
-        let loaded = match &filter.datasets {
-            None => index.datasets.iter().map(|d| d.meta.name.clone()).collect(),
-            Some(names) => names.clone(),
-        };
+        let loaded = loaded_names(&index.datasets, filter);
         Ok(Self {
             geometry: store.load_geometry()?,
             config,
-            index,
+            backing: Backing::Eager(index),
             loaded,
             cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
         })
@@ -103,21 +165,25 @@ impl StoreSession {
     /// Evaluates a relationship query against the loaded index.
     ///
     /// Results are identical to [`polygamy_core::DataPolygamy::query`] over
-    /// the same corpus, configuration and clause. On a session built with a
-    /// data-set filter, explicit names outside the loaded set yield
-    /// [`StoreError::DatasetNotLoaded`], and `None` collections range over
-    /// the loaded data sets only. Takes `&self`: sessions are shared freely
-    /// across reader threads.
+    /// the same corpus, configuration and clause — in both eager and lazy
+    /// mode. On a session built with a data-set filter, explicit names
+    /// outside the loaded set yield [`StoreError::DatasetNotLoaded`], and
+    /// `None` collections range over the loaded data sets only. Takes
+    /// `&self`: sessions are shared freely across reader threads.
     pub fn query(&self, query: &RelationshipQuery) -> Result<Vec<Relationship>> {
         let query = self.scope_to_loaded(query)?;
-        run_query(
-            &self.index,
-            &self.geometry,
-            &self.config,
-            &self.cache,
-            &query,
-        )
-        .map_err(Into::into)
+        match &self.backing {
+            Backing::Eager(index) => {
+                run_query(index, &self.geometry, &self.config, &self.cache, &query)
+                    .map_err(Into::into)
+            }
+            Backing::Lazy(lazy) => {
+                let pinned = lazy.pin_for(std::slice::from_ref(&query))?;
+                let view = IndexView::new(lazy.catalog(), pinned.iter().map(|a| &**a).collect());
+                run_query_view(&view, &self.geometry, &self.config, &self.cache, &query)
+                    .map_err(Into::into)
+            }
+        }
     }
 
     /// Evaluates a batch of queries on one shared worker pool (the flat
@@ -126,25 +192,32 @@ impl StoreSession {
     ///
     /// Returns one result vector per query, in input order; each equals
     /// what [`StoreSession::query`] returns for that query alone, subject
-    /// to the same load-filter scoping rules.
+    /// to the same load-filter scoping rules. In lazy mode the whole
+    /// batch's footprint is pinned up front, so segments shared by several
+    /// queries fault in once.
     pub fn query_many(&self, queries: &[RelationshipQuery]) -> Result<Vec<Vec<Relationship>>> {
         let scoped = queries
             .iter()
             .map(|q| self.scope_to_loaded(q))
             .collect::<Result<Vec<_>>>()?;
-        run_query_many(
-            &self.index,
-            &self.geometry,
-            &self.config,
-            &self.cache,
-            &scoped,
-        )
-        .map_err(Into::into)
+        match &self.backing {
+            Backing::Eager(index) => {
+                run_query_many(index, &self.geometry, &self.config, &self.cache, &scoped)
+                    .map_err(Into::into)
+            }
+            Backing::Lazy(lazy) => {
+                let pinned = lazy.pin_for(&scoped)?;
+                let view = IndexView::new(lazy.catalog(), pinned.iter().map(|a| &**a).collect());
+                run_query_many_view(&view, &self.geometry, &self.config, &self.cache, &scoped)
+                    .map_err(Into::into)
+            }
+        }
     }
 
     /// Rewrites a query so it ranges only over loaded data sets, rejecting
     /// explicit references to unloaded ones.
     fn scope_to_loaded(&self, query: &RelationshipQuery) -> Result<RelationshipQuery> {
+        let catalog = self.catalog();
         let scope = |names: &Option<Vec<String>>| -> Result<Option<Vec<String>>> {
             match names {
                 None => Ok(Some(self.loaded.clone())),
@@ -153,7 +226,7 @@ impl StoreSession {
                         // Unknown-anywhere names fall through to run_query's
                         // UnknownDataset; known-but-unloaded ones are the
                         // session's own refusal.
-                        if self.index.datasets.iter().any(|d| d.meta.name == *name)
+                        if catalog.iter().any(|d| d.meta.name == *name)
                             && !self.loaded.contains(name)
                         {
                             return Err(StoreError::DatasetNotLoaded(name.clone()));
@@ -170,9 +243,35 @@ impl StoreSession {
         })
     }
 
-    /// The materialized index.
-    pub fn index(&self) -> &PolygamyIndex {
-        &self.index
+    /// The materialized index — `Some` for eager sessions, `None` for lazy
+    /// ones (a lazy session never holds the whole index; use
+    /// [`StoreSession::catalog`] for the always-resident data set catalog).
+    pub fn index(&self) -> Option<&PolygamyIndex> {
+        match &self.backing {
+            Backing::Eager(index) => Some(index),
+            Backing::Lazy(_) => None,
+        }
+    }
+
+    /// The data set catalog (resident in both modes).
+    pub fn catalog(&self) -> &[DatasetEntry] {
+        match &self.backing {
+            Backing::Eager(index) => &index.datasets,
+            Backing::Lazy(lazy) => lazy.catalog(),
+        }
+    }
+
+    /// The demand-paged index — `Some` for lazy sessions only.
+    pub fn lazy_index(&self) -> Option<&LazyIndex> {
+        match &self.backing {
+            Backing::Eager(_) => None,
+            Backing::Lazy(lazy) => Some(lazy),
+        }
+    }
+
+    /// True when this session faults segments in on demand.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.backing, Backing::Lazy(_))
     }
 
     /// Names of the data sets this session serves.
@@ -193,5 +292,13 @@ impl StoreSession {
     /// Number of cached per-pair results (diagnostics/tests).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+}
+
+/// The data set names a filter admits — the set a session can serve.
+fn loaded_names(catalog: &[DatasetEntry], filter: &LoadFilter) -> Vec<String> {
+    match &filter.datasets {
+        None => catalog.iter().map(|d| d.meta.name.clone()).collect(),
+        Some(names) => names.clone(),
     }
 }

@@ -7,6 +7,13 @@
 //! into place, so a crashed writer never leaves a half-written store at the
 //! target path.
 //!
+//! All reads — manifest, geometry, segments, maintenance copies — go
+//! through one [`SegmentSource`] opened at [`Store::open`] time. The single
+//! long-lived handle pins the file revision, so a concurrent writer's
+//! atomic rename can never pair this store's manifest with another
+//! revision's bytes (see [`crate::source`] for the full contract), and the
+//! source's byte counter makes read-path costs observable.
+//!
 //! Incremental maintenance ([`Store::upsert_dataset`] /
 //! [`Store::remove_dataset`]) copies retained segment bytes verbatim —
 //! checksums verified, payloads never decoded — and re-indexes only the
@@ -16,11 +23,12 @@
 use crate::codec::{decode_function_segment, encode_function_segment};
 use crate::error::{Result, StoreError};
 use crate::format::{BlobLoc, Header, Manifest, SegmentInfo, HEADER_LEN, VERSION};
+use crate::source::{SegmentSource, SourceBackend};
 use polygamy_core::index::{DatasetEntry, FunctionEntry, PolygamyIndex};
 use polygamy_core::{index_dataset, CityGeometry, Config, Fnv1a};
 use polygamy_stdata::{Dataset, Resolution};
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Which parts of a store to materialize.
@@ -54,7 +62,7 @@ impl LoadFilter {
         self
     }
 
-    fn admits(&self, info: &SegmentInfo, catalog: &[DatasetEntry]) -> bool {
+    pub(crate) fn admits(&self, info: &SegmentInfo, catalog: &[DatasetEntry]) -> bool {
         let dataset_ok = self.datasets.as_ref().is_none_or(|names| {
             names
                 .iter()
@@ -69,12 +77,13 @@ impl LoadFilter {
 }
 
 /// A store file opened for reading: header + manifest in memory, segments
-/// on disk.
+/// on disk behind one pinned [`SegmentSource`].
 #[derive(Debug)]
 pub struct Store {
     path: PathBuf,
     header: Header,
     manifest: Manifest,
+    source: SegmentSource,
 }
 
 impl Store {
@@ -112,20 +121,37 @@ impl Store {
 
     /// Opens a store, reading and verifying only the header and manifest.
     pub fn open(path: impl AsRef<Path>) -> Result<Store> {
+        Self::open_with_backend(path, SourceBackend::default())
+    }
+
+    /// Opens a store with an explicit I/O backend for all segment reads.
+    ///
+    /// The file is opened (or mapped) exactly once here; every later read
+    /// — geometry, segments, maintenance copies — is served by the same
+    /// [`SegmentSource`], so the revision observed at open time is the one
+    /// all reads see even if a writer replaces the path concurrently.
+    pub fn open_with_backend(path: impl AsRef<Path>, backend: SourceBackend) -> Result<Store> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::open(&path)?;
-        let file_len = file.metadata()?.len();
-        let mut header_bytes = vec![0u8; HEADER_LEN as usize];
-        if file_len < HEADER_LEN {
+        let source = SegmentSource::open(&path, backend)?;
+        if source.len() < HEADER_LEN {
             return Err(StoreError::Truncated {
                 what: "header".into(),
             });
         }
-        file.read_exact(&mut header_bytes)?;
+        // The header is self-describing (magic + version validated by
+        // `Header::decode`) and carries the manifest checksum rather than
+        // its own, so it is fetched unverified.
+        let header_bytes = source.fetch(
+            BlobLoc {
+                offset: 0,
+                len: HEADER_LEN,
+                checksum: 0,
+            },
+            "header",
+            false,
+        )?;
         let header = Header::decode(&header_bytes)?;
-        let manifest_bytes = read_range(
-            &mut file,
-            file_len,
+        let manifest_bytes = source.read(
             BlobLoc {
                 offset: header.manifest_offset,
                 len: header.manifest_len,
@@ -138,6 +164,7 @@ impl Store {
             path,
             header,
             manifest,
+            source,
         })
     }
 
@@ -156,16 +183,21 @@ impl Store {
         &self.manifest
     }
 
-    /// Total file size in bytes (the real on-disk footprint).
+    /// The byte source serving all of this store's reads — exposes the
+    /// active backend and the running bytes-fetched counter.
+    pub fn source(&self) -> &SegmentSource {
+        &self.source
+    }
+
+    /// Total file size in bytes (the real on-disk footprint of the
+    /// revision this store has pinned).
     pub fn file_bytes(&self) -> Result<u64> {
-        Ok(std::fs::metadata(&self.path)?.len())
+        Ok(self.source.len())
     }
 
     /// Loads and verifies the city geometry.
     pub fn load_geometry(&self) -> Result<CityGeometry> {
-        let mut file = File::open(&self.path)?;
-        let file_len = file.metadata()?.len();
-        let bytes = read_range(&mut file, file_len, self.manifest.geometry, "geometry")?;
+        let bytes = self.source.read(self.manifest.geometry, "geometry")?;
         decode_geometry(&bytes)
     }
 
@@ -184,8 +216,6 @@ impl Store {
                 self.manifest.dataset_index(name)?;
             }
         }
-        let mut file = File::open(&self.path)?;
-        let file_len = file.metadata()?.len();
         let mut functions: Vec<FunctionEntry> = Vec::new();
         for info in &self.manifest.segments {
             if !filter.admits(info, &self.manifest.datasets) {
@@ -195,7 +225,7 @@ impl Store {
                 "segment {}.{}",
                 self.manifest.datasets[info.dataset_index].meta.name, info.function
             );
-            let bytes = read_range(&mut file, file_len, info.loc, &what)?;
+            let bytes = self.source.read(info.loc, &what)?;
             functions.push(decode_function_segment(&bytes, info.dataset_index, &what)?);
         }
         Ok(PolygamyIndex {
@@ -270,8 +300,6 @@ impl Store {
     /// `keep`, grouped by catalog position. Checksums are verified so
     /// maintenance never copies corruption forward.
     fn read_retained_segments(&self, keep: impl Fn(usize) -> bool) -> Result<Vec<SegmentGroup>> {
-        let mut file = File::open(&self.path)?;
-        let file_len = file.metadata()?.len();
         let mut per_dataset: Vec<SegmentGroup> = (0..self.manifest.datasets.len())
             .map(|_| Vec::new())
             .collect();
@@ -283,13 +311,13 @@ impl Store {
                 "segment {}.{}",
                 self.manifest.datasets[info.dataset_index].meta.name, info.function
             );
-            let bytes = read_range(&mut file, file_len, info.loc, &what)?;
+            let bytes = self.source.read(info.loc, &what)?;
             per_dataset[info.dataset_index].push((
                 SegmentMeta {
                     function: info.function.clone(),
                     resolution: info.resolution,
                 },
-                bytes,
+                bytes.into_owned(),
             ));
         }
         Ok(per_dataset)
@@ -297,9 +325,10 @@ impl Store {
 
     /// Reads the raw geometry blob, checksum-verified.
     fn read_geometry_bytes(&self) -> Result<Vec<u8>> {
-        let mut file = File::open(&self.path)?;
-        let file_len = file.metadata()?.len();
-        read_range(&mut file, file_len, self.manifest.geometry, "geometry")
+        Ok(self
+            .source
+            .read(self.manifest.geometry, "geometry")?
+            .into_owned())
     }
 }
 
@@ -327,26 +356,6 @@ fn decode_geometry(bytes: &[u8]) -> Result<CityGeometry> {
         .map_err(|_| StoreError::Corrupt("geometry blob is not utf-8".into()))?;
     serde_json::from_str(text)
         .map_err(|e| StoreError::Corrupt(format!("geometry decode failed: {e}")))
-}
-
-/// Reads and checksum-verifies one blob range.
-fn read_range(file: &mut File, file_len: u64, loc: BlobLoc, what: &str) -> Result<Vec<u8>> {
-    let end = loc.offset.checked_add(loc.len);
-    if end.is_none_or(|e| e > file_len) {
-        return Err(StoreError::Truncated { what: what.into() });
-    }
-    file.seek(SeekFrom::Start(loc.offset))?;
-    let mut bytes = vec![
-        0u8;
-        usize::try_from(loc.len).map_err(|_| StoreError::Corrupt(format!(
-            "{what}: length exceeds usize"
-        )))?
-    ];
-    file.read_exact(&mut bytes)?;
-    if Fnv1a::hash_bytes(&bytes) != loc.checksum {
-        return Err(StoreError::ChecksumMismatch { what: what.into() });
-    }
-    Ok(bytes)
 }
 
 /// Composes and atomically writes a complete store file, then reopens it.

@@ -1,0 +1,297 @@
+//! Demand-paged serving invariants (this PR's acceptance criteria):
+//!
+//! * a lazy open plus the first single-pair query reads **strictly fewer
+//!   bytes** than an eager load — asserted through the `SegmentSource`
+//!   byte counter, not inferred from timings;
+//! * lazy and eager sessions return byte-identical results for every
+//!   query form, on both I/O backends;
+//! * corruption surfaces lazily: a flipped byte in one segment leaves the
+//!   open and queries over other data sets untouched, and only a query
+//!   whose footprint reaches the corrupt segment errors — repeatably,
+//!   thanks to the sticky per-segment verification verdict;
+//! * the single pinned handle keeps a session consistent when a writer
+//!   replaces the store file mid-session.
+
+use polygamy_core::prelude::*;
+use polygamy_core::DataPolygamy;
+use polygamy_store::{LoadFilter, SourceBackend, Store, StoreError, StoreSession};
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "polygamy-lazy-test-{}-{tag}.plst",
+        std::process::id()
+    ))
+}
+
+struct Cleanup(PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn spiky_dataset(name: &str, level: f64, bump_at: i64) -> Dataset {
+    let meta = DatasetMeta {
+        name: name.into(),
+        spatial_resolution: SpatialResolution::City,
+        temporal_resolution: TemporalResolution::Hour,
+        description: format!("lazy-test data set {name}"),
+    };
+    let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("signal"));
+    for h in 0..600i64 {
+        let v = if h == bump_at || h == bump_at + 137 {
+            40.0
+        } else {
+            level + (h % 24) as f64 * 0.05
+        };
+        b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v])
+            .expect("schema matches");
+    }
+    b.build().expect("dataset builds")
+}
+
+fn corpus() -> Vec<Dataset> {
+    vec![
+        spiky_dataset("alpha", 1.0, 100),
+        spiky_dataset("beta", -2.0, 100),
+        spiky_dataset("gamma", 0.5, 333),
+    ]
+}
+
+fn build_framework(datasets: &[Dataset]) -> DataPolygamy {
+    let mut dp = DataPolygamy::new(
+        CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+        Config::fast_test(),
+    );
+    for d in datasets {
+        dp.add_dataset(d.clone());
+    }
+    dp.build_index();
+    dp
+}
+
+fn save_corpus(path: &PathBuf) -> DataPolygamy {
+    let dp = build_framework(&corpus());
+    Store::save(path, dp.geometry(), dp.index().unwrap()).unwrap();
+    dp
+}
+
+fn test_clause() -> Clause {
+    Clause::default().permutations(40).include_insignificant()
+}
+
+fn open_lazy(path: &PathBuf, backend: SourceBackend) -> StoreSession {
+    StoreSession::open_lazy_with(path, Config::fast_test(), &LoadFilter::all(), backend).unwrap()
+}
+
+/// Bytes read so far by a lazy session's pinned source.
+fn lazy_bytes(session: &StoreSession) -> u64 {
+    session
+        .lazy_index()
+        .expect("lazy session")
+        .store()
+        .source()
+        .bytes_fetched()
+}
+
+#[test]
+fn lazy_open_plus_first_query_reads_strictly_fewer_bytes_than_eager() {
+    let path = tmp_path("bytes");
+    let _cleanup = Cleanup(path.clone());
+    save_corpus(&path);
+
+    // Eager baseline: open + full load, counted at the source.
+    let eager_store = Store::open(&path).unwrap();
+    eager_store.load().unwrap();
+    eager_store.load_geometry().unwrap();
+    let eager_bytes = eager_store.source().bytes_fetched();
+
+    // Lazy: open is O(header + manifest + geometry)...
+    let session = open_lazy(&path, SourceBackend::PositionedRead);
+    let open_bytes = lazy_bytes(&session);
+    assert!(open_bytes > 0);
+    assert!(
+        open_bytes < eager_bytes / 2,
+        "lazy open read {open_bytes} of eager's {eager_bytes} bytes"
+    );
+
+    // ...and the first single-pair query faults in only alpha's and beta's
+    // segments, never gamma's.
+    let q = RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(test_clause());
+    session.query(&q).unwrap();
+    let after_query = lazy_bytes(&session);
+    assert!(after_query > open_bytes, "the query faulted segments in");
+    assert!(
+        after_query < eager_bytes,
+        "lazy open + first query read {after_query} bytes, eager load read \
+         {eager_bytes} — laziness must read strictly fewer"
+    );
+
+    // Re-running the query faults nothing new: segment + result caches hold.
+    session.query(&q).unwrap();
+    assert_eq!(lazy_bytes(&session), after_query);
+}
+
+#[test]
+fn lazy_matches_eager_for_every_query_form_and_backend() {
+    let path = tmp_path("equivalence");
+    let _cleanup = Cleanup(path.clone());
+    let dp = save_corpus(&path);
+
+    let eager = StoreSession::open_with(&path, Config::fast_test(), &LoadFilter::all()).unwrap();
+    let queries = [
+        RelationshipQuery::all().with_clause(test_clause()),
+        RelationshipQuery::of("alpha").with_clause(test_clause()),
+        RelationshipQuery::between(&["beta"], &["gamma"]).with_clause(test_clause()),
+    ];
+    for backend in [SourceBackend::PositionedRead, SourceBackend::Mmap] {
+        let lazy = open_lazy(&path, backend);
+        assert!(lazy.is_lazy() && lazy.index().is_none());
+        for q in &queries {
+            let expect = dp.query(q).unwrap();
+            assert_eq!(eager.query(q).unwrap(), expect, "{backend:?}");
+            assert_eq!(lazy.query(q).unwrap(), expect, "{backend:?}");
+        }
+        // The batched path pins the whole footprint once and still matches
+        // per-query evaluation.
+        let batched = lazy.query_many(&queries).unwrap();
+        for (q, rels) in queries.iter().zip(&batched) {
+            assert_eq!(rels, &dp.query(q).unwrap(), "{backend:?}");
+        }
+    }
+}
+
+#[test]
+fn lazy_session_respects_load_filter() {
+    let path = tmp_path("filter");
+    let _cleanup = Cleanup(path.clone());
+    let dp = save_corpus(&path);
+
+    let session = StoreSession::open_lazy_with(
+        &path,
+        Config::fast_test(),
+        &LoadFilter::all().datasets(&["alpha", "gamma"]),
+        SourceBackend::PositionedRead,
+    )
+    .unwrap();
+    assert_eq!(session.loaded_datasets(), ["alpha", "gamma"]);
+    let q = RelationshipQuery::between(&["alpha"], &["gamma"]).with_clause(test_clause());
+    assert_eq!(session.query(&q).unwrap(), dp.query(&q).unwrap());
+    // Cataloged-but-unloaded: the session's own typed refusal.
+    assert!(matches!(
+        session.query(
+            &RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(test_clause())
+        ),
+        Err(StoreError::DatasetNotLoaded(name)) if name == "beta"
+    ));
+    // Unknown-anywhere names keep their UnknownDataset error.
+    assert!(matches!(
+        session
+            .query(&RelationshipQuery::between(&["alpha"], &["nope"]).with_clause(test_clause())),
+        Err(StoreError::Query(polygamy_core::Error::UnknownDataset(_)))
+    ));
+    // Whole-corpus queries range over the loaded subset only.
+    assert_eq!(
+        session
+            .query(&RelationshipQuery::all().with_clause(test_clause()))
+            .unwrap(),
+        session.query(&q).unwrap()
+    );
+    // Unknown filter names are rejected at open, like the eager loader.
+    assert!(matches!(
+        StoreSession::open_lazy_with(
+            &path,
+            Config::fast_test(),
+            &LoadFilter::all().datasets(&["nope"]),
+            SourceBackend::PositionedRead,
+        ),
+        Err(StoreError::UnknownDataset(_))
+    ));
+}
+
+#[test]
+fn corruption_surfaces_only_for_queries_touching_the_corrupt_segment() {
+    let path = tmp_path("corruption");
+    let _cleanup = Cleanup(path.clone());
+    save_corpus(&path);
+
+    // Flip one byte inside a segment owned by gamma.
+    let pristine = std::fs::read(&path).unwrap();
+    let store = Store::open(&path).unwrap();
+    let gamma = store.manifest().dataset_index("gamma").unwrap();
+    let gamma_seg = store
+        .manifest()
+        .segments
+        .iter()
+        .find(|s| s.dataset_index == gamma)
+        .expect("gamma has segments")
+        .loc;
+    drop(store);
+    let mut flipped = pristine.clone();
+    flipped[gamma_seg.offset as usize + 3] ^= 0x40;
+    std::fs::write(&path, &flipped).unwrap();
+
+    // The eager loader refuses the whole store...
+    let reopened = Store::open(&path).unwrap();
+    assert!(matches!(
+        reopened.load(),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+
+    // ...the lazy session opens fine and serves every query that stays
+    // away from the corrupt segment.
+    for backend in [SourceBackend::PositionedRead, SourceBackend::Mmap] {
+        let session = open_lazy(&path, backend);
+        let clean = RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(test_clause());
+        assert!(!session.query(&clean).unwrap().is_empty(), "{backend:?}");
+
+        // Only the query whose footprint reaches gamma errors — with the
+        // accurate typed error, naming the corrupt segment's owner.
+        let touching =
+            RelationshipQuery::between(&["alpha"], &["gamma"]).with_clause(test_clause());
+        for _ in 0..2 {
+            // Twice: the sticky verdict keeps failing without re-reading.
+            match session.query(&touching) {
+                Err(StoreError::ChecksumMismatch { what }) => {
+                    assert!(what.contains("gamma"), "{backend:?}: {what}")
+                }
+                other => panic!("{backend:?}: expected checksum mismatch, got {other:?}"),
+            }
+        }
+        // The clean query still works after the failure.
+        assert!(!session.query(&clean).unwrap().is_empty(), "{backend:?}");
+    }
+}
+
+#[test]
+fn pinned_handle_keeps_a_session_consistent_across_file_replacement() {
+    let path = tmp_path("pinned");
+    let _cleanup = Cleanup(path.clone());
+    save_corpus(&path);
+
+    let session = open_lazy(&path, SourceBackend::PositionedRead);
+    let q = RelationshipQuery::between(&["alpha"], &["beta"]).with_clause(test_clause());
+    let before = session.query(&q).unwrap();
+
+    // A writer atomically replaces the store with a different corpus (the
+    // same rename path `Store::save` uses in production).
+    let other = build_framework(&[
+        spiky_dataset("delta", 3.0, 50),
+        spiky_dataset("epsilon", -1.0, 50),
+    ]);
+    Store::save(&path, other.geometry(), other.index().unwrap()).unwrap();
+
+    // The open session still serves the revision it pinned — including
+    // segments it has not faulted in yet (gamma) — never a torn mix of the
+    // two revisions.
+    assert_eq!(session.query(&q).unwrap(), before);
+    let gamma_q = RelationshipQuery::between(&["alpha"], &["gamma"]).with_clause(test_clause());
+    assert!(session.query(&gamma_q).is_ok());
+    assert_eq!(session.loaded_datasets(), ["alpha", "beta", "gamma"]);
+
+    // A fresh open sees the new revision.
+    let fresh = open_lazy(&path, SourceBackend::PositionedRead);
+    assert_eq!(fresh.loaded_datasets(), ["delta", "epsilon"]);
+}

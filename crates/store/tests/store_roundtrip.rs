@@ -83,7 +83,7 @@ fn session_query_matches_in_memory_framework() {
     let session = StoreSession::open_with(&path, Config::fast_test(), &LoadFilter::all()).unwrap();
     // The materialized index is byte-for-byte the one that was saved.
     assert_eq!(
-        session.index().to_json().unwrap(),
+        session.index().unwrap().to_json().unwrap(),
         dp.index().unwrap().to_json().unwrap()
     );
     // And every query form answers identically.

@@ -96,8 +96,8 @@ fn main() {
     .expect("partial load");
     println!(
         "selective session materialized {} of {} function segments",
-        narrow.index().functions.len(),
-        session.index().functions.len()
+        narrow.index().expect("eager session").functions.len(),
+        session.index().expect("eager session").functions.len()
     );
 
     let _ = std::fs::remove_file(&path);

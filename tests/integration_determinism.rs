@@ -3,16 +3,19 @@
 //! The PR's core guarantee: query results are **byte-identical** for any
 //! worker count — `Cluster::local(1)`, `local(2)`, …, `Cluster::host()` —
 //! on both the in-memory framework and a persistent `StoreSession`, for
-//! both `query` and `query_many`. Tasks carry their own FNV-derived Monte
-//! Carlo seeds and results are assembled in canonical task order, so
-//! scheduling can never leak into significance verdicts. Byte-identity is
-//! checked on the serialized JSON, not just `PartialEq`, so even the bit
-//! patterns of scores and p-values must agree.
+//! both `query` and `query_many`, in both **eager and lazy** read modes
+//! (the lazy session faults segments in per query footprint; pinned
+//! entries keep directory order, so expansion — and therefore output — is
+//! unchanged). Tasks carry their own FNV-derived Monte Carlo seeds and
+//! results are assembled in canonical task order, so scheduling can never
+//! leak into significance verdicts. Byte-identity is checked on the
+//! serialized JSON, not just `PartialEq`, so even the bit patterns of
+//! scores and p-values must agree.
 
 use polygamy_core::prelude::*;
 use polygamy_core::DataPolygamy;
 use polygamy_mapreduce::Cluster;
-use polygamy_store::{LoadFilter, Store, StoreSession};
+use polygamy_store::{LoadFilter, SourceBackend, Store, StoreSession};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -42,6 +45,37 @@ fn config_with(cluster: Cluster) -> Config {
 /// The worker-count matrix every result must be invariant over.
 fn worker_matrix() -> Vec<Cluster> {
     vec![Cluster::local(1), Cluster::local(2), Cluster::host()]
+}
+
+/// The read-mode axis: every store-session result must also be invariant
+/// over eager vs lazy materialization (and the lazy I/O backends).
+fn session_matrix(path: &std::path::Path, cluster: Cluster) -> Vec<(&'static str, StoreSession)> {
+    vec![
+        (
+            "eager",
+            StoreSession::open_with(path, config_with(cluster), &LoadFilter::all()).unwrap(),
+        ),
+        (
+            "lazy",
+            StoreSession::open_lazy_with(
+                path,
+                config_with(cluster),
+                &LoadFilter::all(),
+                SourceBackend::PositionedRead,
+            )
+            .unwrap(),
+        ),
+        (
+            "lazy-mmap",
+            StoreSession::open_lazy_with(
+                path,
+                config_with(cluster),
+                &LoadFilter::all(),
+                SourceBackend::Mmap,
+            )
+            .unwrap(),
+        ),
+    ]
 }
 
 fn spiky_dataset(name: &str, level: f64, bump_at: i64) -> Dataset {
@@ -141,17 +175,21 @@ fn store_session_results_identical_across_worker_counts() {
         .map(|q| json(&dp.query(q).unwrap()))
         .collect();
     for cluster in worker_matrix() {
-        let session =
-            StoreSession::open_with(&path, config_with(cluster), &LoadFilter::all()).unwrap();
-        for (q, expect) in queries.iter().zip(&reference) {
-            assert_eq!(&json(&session.query(q).unwrap()), expect, "@ {cluster:?}");
+        for (mode, session) in session_matrix(&path, cluster) {
+            for (q, expect) in queries.iter().zip(&reference) {
+                assert_eq!(
+                    &json(&session.query(q).unwrap()),
+                    expect,
+                    "{mode} query @ {cluster:?}"
+                );
+            }
         }
-        // A fresh session for the batched path (cold cache again).
-        let session =
-            StoreSession::open_with(&path, config_with(cluster), &LoadFilter::all()).unwrap();
-        let batched = session.query_many(&queries).unwrap();
-        for (rels, expect) in batched.iter().zip(&reference) {
-            assert_eq!(&json(rels), expect, "query_many @ {cluster:?}");
+        // Fresh sessions for the batched path (cold caches again).
+        for (mode, session) in session_matrix(&path, cluster) {
+            let batched = session.query_many(&queries).unwrap();
+            for (rels, expect) in batched.iter().zip(&reference) {
+                assert_eq!(&json(rels), expect, "{mode} query_many @ {cluster:?}");
+            }
         }
     }
 }
@@ -191,9 +229,9 @@ proptest! {
         let dp = build_framework(&datasets, Cluster::local(1));
         Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
         for cluster in worker_matrix() {
-            let session =
-                StoreSession::open_with(&path, config_with(cluster), &LoadFilter::all()).unwrap();
-            prop_assert_eq!(&json(&session.query(&query).unwrap()), &reference);
+            for (_mode, session) in session_matrix(&path, cluster) {
+                prop_assert_eq!(&json(&session.query(&query).unwrap()), &reference);
+            }
         }
     }
 }
