@@ -15,7 +15,7 @@
 //! snapshot invariants, exiting non-zero on any violation.
 
 use polygamy_bench::snapshot::{
-    today_utc, BenchSnapshot, CorpusInfo, Metrics, SNAPSHOT_SCHEMA_VERSION,
+    today_utc, BenchSnapshot, CorpusInfo, Metrics, ServingMetrics, SNAPSHOT_SCHEMA_VERSION,
 };
 use polygamy_bench::{human_bytes, timed};
 use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
@@ -133,8 +133,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let (eager_session, open_eager_bytes) = eager_cold?;
     let (warm, open_eager_warm_secs) = timed(|| -> Result<_, String> {
         let store = Store::open(&store_path).map_err(|e| e.to_string())?;
-        StoreSession::from_store(&store, config, &LoadFilter::all())
-            .map_err(|e| e.to_string())
+        StoreSession::from_store(&store, config, &LoadFilter::all()).map_err(|e| e.to_string())
     });
     drop(warm?);
 
@@ -244,6 +243,33 @@ fn run(args: &[String]) -> Result<(), String> {
         flat_rels.len()
     );
 
+    // ---- Network serving: coalesced vs serial dispatch over the store
+    // file written above, fresh cold-cache sessions per mode.
+    let serve_clients = 4;
+    let serve_requests = if quick { 6 } else { 12 };
+    let serve_queries: Vec<String> = [
+        format!("between {first} and {second} where permutations = {permutations} and include insignificant"),
+        format!("between {first} and * where permutations = {permutations}"),
+        format!("between {second} and * where permutations = {permutations} and class = salient"),
+    ]
+    .into_iter()
+    .collect();
+    let served = polygamy_bench::serving::measure_serving(
+        &store_path,
+        serve_clients,
+        serve_requests,
+        &serve_queries,
+    )?;
+    eprintln!(
+        "serving: coalesced {:.1} q/s vs serial {:.1} q/s — {} queries in {} dispatches \
+         (mean batch {:.2})",
+        served.qps_coalesced,
+        served.qps_serial,
+        served.coalesced.queries,
+        served.coalesced.batches,
+        served.coalesced.mean_batch()
+    );
+
     // ---- PQL parse latency, amortised to a stable microsecond figure.
     let pql = to_pql(&rate_query);
     let parse_repeats = 2_000u32;
@@ -277,6 +303,14 @@ fn run(args: &[String]) -> Result<(), String> {
             query_rate_serial_per_min: serial_rels.len() as f64 / serial_secs.max(1e-9) * 60.0,
             query_rate_flat_per_min: flat_rels.len() as f64 / flat_secs.max(1e-9) * 60.0,
             pql_parse_us: parse_total * 1e6 / f64::from(parse_repeats),
+        },
+        serving: ServingMetrics {
+            clients: served.clients,
+            queries_total: served.queries_total,
+            served_qps_coalesced: served.qps_coalesced,
+            served_qps_serial: served.qps_serial,
+            coalesced_batches: served.coalesced.batches,
+            mean_coalesced_batch: served.coalesced.mean_batch(),
         },
     };
     let problems = snapshot.problems();

@@ -1,0 +1,190 @@
+//! Load generator for the `polygamy-serve` network daemon.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT --file <queries.pql> [--clients N] [--requests N] [--print]
+//! loadgen --addr HOST:PORT --shutdown
+//! loadgen --self-serve <store.plst> --file <queries.pql> [--clients N] [--requests N]
+//! ```
+//!
+//! **External mode** (`--addr`): every client opens its own connection
+//! and sends the whole batch file as one request, `--requests` times
+//! (default 1), concurrently — the traffic shape the daemon's coalescer
+//! exists for. All responses are asserted byte-identical across clients
+//! and repeats (the determinism guarantee of `docs/serving.md` §8); with
+//! `--print`, exactly one copy of the response JSONL goes to stdout, so
+//! CI can `diff` it against the offline
+//! `polygamy-store query --json --file` output. `--shutdown` sends the
+//! `S` frame and waits for the drain acknowledgement.
+//!
+//! **Self-serve mode** (`--self-serve`): starts the daemon in-process
+//! over the given store — twice, coalescing on and off, fresh cold-cache
+//! sessions — drives it with the same client fleet, and reports
+//! served-queries/sec for both dispatch modes. This is the measurement
+//! that fills the `serving` section of the committed `BENCH_*.json`
+//! snapshots.
+
+use polygamy_serve::{Client, Response};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = run(&args);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> String {
+    "usage:\n\
+     \x20 loadgen --addr HOST:PORT --file <queries.pql> [--clients N] [--requests N] [--print]\n\
+     \x20 loadgen --addr HOST:PORT --shutdown\n\
+     \x20 loadgen --self-serve <store.plst> --file <queries.pql> [--clients N] [--requests N]"
+        .into()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let clients: usize = match flag_value(args, "--clients") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--clients expects a positive integer")?,
+        None => 4,
+    };
+    let requests: usize = match flag_value(args, "--requests") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--requests expects a positive integer")?,
+        None => 1,
+    };
+    if let Some(store) = flag_value(args, "--self-serve") {
+        let file = flag_value(args, "--file").ok_or_else(usage)?;
+        return self_serve(&store, &file, clients, requests);
+    }
+    let addr = flag_value(args, "--addr").ok_or_else(usage)?;
+    if args.iter().any(|a| a == "--shutdown") {
+        let client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))
+            .map_err(|e| e.to_string())?;
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        eprintln!("loadgen: server acknowledged drain");
+        return Ok(());
+    }
+    let file = flag_value(args, "--file").ok_or_else(usage)?;
+    let batch = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    external(
+        &addr,
+        &batch,
+        clients,
+        requests,
+        args.iter().any(|a| a == "--print"),
+    )
+}
+
+/// Drives a running daemon: `clients` connections, each sending the whole
+/// batch `requests` times; returns all responses.
+fn drive(addr: &str, batch: &str, clients: usize, requests: usize) -> Result<Vec<String>, String> {
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_string();
+            let batch = batch.to_string();
+            std::thread::spawn(move || -> Result<Vec<String>, String> {
+                // Retry the connect: CI starts the daemon and the load in
+                // the same breath.
+                let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(10))
+                    .map_err(|e| e.to_string())?;
+                let mut out = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    match client.request(&batch).map_err(|e| e.to_string())? {
+                        Response::Results(json) => out.push(json),
+                        Response::Error(e) => {
+                            return Err(format!("server error: {}: {}", e.error, e.message))
+                        }
+                    }
+                }
+                Ok(out)
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().map_err(|_| "client thread panicked")??);
+    }
+    Ok(all)
+}
+
+fn external(
+    addr: &str,
+    batch: &str,
+    clients: usize,
+    requests: usize,
+    print: bool,
+) -> Result<(), String> {
+    let t0 = Instant::now();
+    let responses = drive(addr, batch, clients, requests)?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    let reference = responses.first().ok_or("no responses")?;
+    // Determinism across clients, connections and batch composition: every
+    // response to the same request must be the same bytes.
+    for (i, r) in responses.iter().enumerate() {
+        if r != reference {
+            return Err(format!(
+                "response {i} differs from response 0 — serving is not deterministic"
+            ));
+        }
+    }
+    let queries_per_request = reference.lines().count().max(1);
+    let total_queries = responses.len() * queries_per_request;
+    eprintln!(
+        "loadgen: {} request(s) x {queries_per_request} query(ies) over {clients} client(s) \
+         in {elapsed:.2}s — {:.1} served queries/sec, all responses byte-identical",
+        responses.len(),
+        total_queries as f64 / elapsed.max(1e-9)
+    );
+    if print {
+        println!("{reference}");
+    }
+    Ok(())
+}
+
+fn self_serve(store: &str, file: &str, clients: usize, requests: usize) -> Result<(), String> {
+    let batch = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    // One query per line, like the wire protocol: the fleet sends single
+    // queries so the coalescer has something to merge.
+    let queries: Vec<String> = batch
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    let m = polygamy_bench::serving::measure_serving(
+        std::path::Path::new(store),
+        clients,
+        requests,
+        &queries,
+    )?;
+    println!(
+        "served-queries/sec: coalesced {:.1}, serial {:.1} ({}x{} requests, {} queries, \
+         {} coalesced dispatches, mean batch {:.2})",
+        m.qps_coalesced,
+        m.qps_serial,
+        m.clients,
+        requests,
+        m.queries_total,
+        m.coalesced.batches,
+        m.coalesced.mean_batch()
+    );
+    Ok(())
+}

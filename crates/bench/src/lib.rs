@@ -11,6 +11,7 @@
 //! ratios, robustness plateaus and baseline blind spots.
 
 pub mod experiments;
+pub mod serving;
 pub mod snapshot;
 
 use std::fmt::Write as _;

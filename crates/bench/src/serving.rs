@@ -1,0 +1,116 @@
+//! Served-query throughput: coalesced vs serial dispatch.
+//!
+//! Measures the serving layer end to end — real daemon, real localhost
+//! sockets, N concurrent clients — in two configurations of the *same*
+//! build: batch coalescing on (the default) and off (`--no-coalesce`,
+//! every request pays its own `query_many` dispatch). Each mode gets a
+//! **fresh** [`StoreSession`] so both start with cold segment and query
+//! caches; the difference is purely how requests reach the executor.
+//!
+//! The numbers land in the committed `BENCH_<date>.json` snapshots (the
+//! `serving` section) and in the `loadgen --self-serve` report.
+
+use polygamy_serve::{Client, CoalesceStats, Response, ServeOptions, Server};
+use polygamy_store::StoreSession;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One complete coalesced-vs-serial measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingMeasurement {
+    /// Concurrent client connections per mode.
+    pub clients: usize,
+    /// Queries served per mode (clients × requests × queries/request).
+    pub queries_total: u64,
+    /// Served queries per second with coalescing on.
+    pub qps_coalesced: f64,
+    /// Served queries per second with serial per-request dispatch.
+    pub qps_serial: f64,
+    /// Dispatcher stats of the coalesced run.
+    pub coalesced: CoalesceStats,
+}
+
+/// Drives one server in one mode and returns (queries served, seconds,
+/// final stats).
+fn drive(
+    store_path: &Path,
+    coalesce: bool,
+    clients: usize,
+    requests_per_client: usize,
+    queries: &[String],
+) -> Result<(u64, f64, CoalesceStats), String> {
+    // A fresh session per mode: cold caches, so neither mode inherits the
+    // other's warm-up.
+    let session = Arc::new(StoreSession::open(store_path).map_err(|e| e.to_string())?);
+    let opts = ServeOptions {
+        coalesce,
+        ..ServeOptions::default()
+    };
+    let server = Server::bind("127.0.0.1:0", session, opts).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let queries: Vec<String> = queries.to_vec();
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut served = 0u64;
+                for r in 0..requests_per_client {
+                    // Stagger which query each client leads with so the
+                    // coalescer sees mixed batches, like real analysts.
+                    let q = &queries[(c + r) % queries.len()];
+                    match client.request(q).map_err(|e| e.to_string())? {
+                        Response::Results(_) => served += 1,
+                        Response::Error(e) => {
+                            return Err(format!("server error: {}: {}", e.error, e.message))
+                        }
+                    }
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+    let mut served = 0u64;
+    for h in handles {
+        served += h.join().map_err(|_| "client thread panicked")??;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    server.shutdown();
+    let stats = server.wait();
+    Ok((served, elapsed, stats))
+}
+
+/// Measures served-query throughput over the store at `store_path`:
+/// `clients` concurrent connections each issuing `requests_per_client`
+/// single-query requests drawn round-robin from `queries`, once against a
+/// coalescing server and once against a serial-dispatch server.
+pub fn measure_serving(
+    store_path: &Path,
+    clients: usize,
+    requests_per_client: usize,
+    queries: &[String],
+) -> Result<ServingMeasurement, String> {
+    if queries.is_empty() {
+        return Err("measure_serving: no queries".into());
+    }
+    let (served_serial, serial_secs, _) =
+        drive(store_path, false, clients, requests_per_client, queries)?;
+    let (served_coalesced, coalesced_secs, coalesced) =
+        drive(store_path, true, clients, requests_per_client, queries)?;
+    if served_serial != served_coalesced {
+        return Err(format!(
+            "modes served different request counts: serial {served_serial}, \
+             coalesced {served_coalesced}"
+        ));
+    }
+    Ok(ServingMeasurement {
+        clients,
+        queries_total: coalesced.queries,
+        qps_coalesced: served_coalesced as f64 / coalesced_secs.max(1e-9),
+        qps_serial: served_serial as f64 / serial_secs.max(1e-9),
+        coalesced,
+    })
+}

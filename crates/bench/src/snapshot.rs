@@ -17,8 +17,15 @@
 use serde::{Deserialize, Serialize};
 
 /// Current snapshot schema version. Bump when fields change meaning;
-/// additions that keep old fields valid may keep the version.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+/// additions that keep old fields valid may keep the version. (The serde
+/// shim treats *missing* keys as hard errors, so adding a required
+/// section — like v2's `serving` — is itself a version bump, and every
+/// committed snapshot must be regenerated with it.)
+///
+/// * v1 — index build, store open, lazy fault-in, query rate, PQL parse.
+/// * v2 — adds the `serving` section: network daemon throughput,
+///   coalesced vs serial dispatch (see `docs/serving.md` §8).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 
 /// Corpus and store shape the metrics were measured against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,6 +84,28 @@ pub struct Metrics {
     pub pql_parse_us: f64,
 }
 
+/// Network-daemon throughput, measured by `polygamy_bench::serving`:
+/// the same store served twice — batch coalescing on, then off — by N
+/// concurrent clients over localhost, each mode on a fresh cold-cache
+/// session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingMetrics {
+    /// Concurrent client connections per mode.
+    pub clients: usize,
+    /// Queries served per mode.
+    pub queries_total: u64,
+    /// Served queries per second with cross-connection coalescing (the
+    /// daemon's default dispatch).
+    pub served_qps_coalesced: f64,
+    /// Served queries per second with serial per-request dispatch
+    /// (`--no-coalesce`).
+    pub served_qps_serial: f64,
+    /// `query_many` dispatches the coalesced run issued.
+    pub coalesced_batches: u64,
+    /// Mean queries per coalesced dispatch (> 1 means merging happened).
+    pub mean_coalesced_batch: f64,
+}
+
 /// One committed benchmark measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSnapshot {
@@ -94,6 +123,8 @@ pub struct BenchSnapshot {
     pub corpus: CorpusInfo,
     /// The measured values.
     pub metrics: Metrics,
+    /// Network serving throughput (schema v2).
+    pub serving: ServingMetrics,
 }
 
 impl BenchSnapshot {
@@ -149,6 +180,36 @@ impl BenchSnapshot {
                 "lazy open + first query read {} bytes, eager open {} — \
                  expected strictly fewer",
                 m.lazy_bytes_after_first_query, m.open_eager_bytes
+            ));
+        }
+        let s = &self.serving;
+        if s.clients == 0 || s.queries_total == 0 || s.coalesced_batches == 0 {
+            out.push("empty serving run".into());
+        }
+        for (name, v) in [
+            ("served_qps_coalesced", s.served_qps_coalesced),
+            ("served_qps_serial", s.served_qps_serial),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                out.push(format!("{name} = {v} (expected finite > 0)"));
+            }
+        }
+        if s.mean_coalesced_batch < 1.0 {
+            out.push(format!(
+                "mean_coalesced_batch = {} (a dispatch carries ≥ 1 query)",
+                s.mean_coalesced_batch
+            ));
+        }
+        // Coalescing must not *cost* throughput. The win itself is
+        // load-shape and host dependent (a 1-core box only amortises
+        // dispatch overhead), so the committed number documents the gain
+        // and validation only flags an outright regression, with slack
+        // for scheduler noise on loaded CI hosts.
+        if s.served_qps_coalesced < 0.75 * s.served_qps_serial {
+            out.push(format!(
+                "coalesced dispatch served {:.1} q/s vs {:.1} serial — \
+                 coalescing made serving slower",
+                s.served_qps_coalesced, s.served_qps_serial
             ));
         }
         out
@@ -248,6 +309,14 @@ mod tests {
                 query_rate_flat_per_min: 40_000.0,
                 pql_parse_us: 3.0,
             },
+            serving: ServingMetrics {
+                clients: 4,
+                queries_total: 24,
+                served_qps_coalesced: 12.0,
+                served_qps_serial: 9.0,
+                coalesced_batches: 8,
+                mean_coalesced_batch: 3.0,
+            },
         }
     }
 
@@ -267,6 +336,18 @@ mod tests {
         snap.metrics.query_rate_flat_per_min = f64::NAN;
         let problems = snap.problems();
         assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn validation_catches_serving_regression() {
+        let mut snap = sample();
+        // Slower than serial beyond the noise allowance: flagged.
+        snap.serving.served_qps_coalesced = 0.5 * snap.serving.served_qps_serial;
+        let problems = snap.problems();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        // Within the noise allowance: tolerated.
+        snap.serving.served_qps_coalesced = 0.9 * snap.serving.served_qps_serial;
+        assert!(snap.problems().is_empty());
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! polygamy-store build <path> [--quick] [--years N] [--scale S] [--no-fields]
 //! polygamy-store inspect <path> [--verify]
 //! polygamy-store query <path> <left> <right> [--permutations N]
-//!                [--min-score X] [--include-insignificant] [--lazy [--mmap]]
+//!                [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]
 //! polygamy-store query <path> --batch <left:right>... [--permutations N]
-//!                [--min-score X] [--include-insignificant] [--lazy [--mmap]]
-//! polygamy-store query <path> --pql "<query>" [--lazy [--mmap]]
-//! polygamy-store query <path> --file <queries.pql> [--lazy [--mmap]]
+//!                [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]
+//! polygamy-store query <path> --pql "<query>" [--json] [--lazy [--mmap]]
+//! polygamy-store query <path> --file <queries.pql> [--json] [--lazy [--mmap]]
 //! polygamy-store repl <path> [--lazy [--mmap]]
+//! polygamy-store serve <path> [--addr HOST:PORT] [--max-inflight N]
+//!                [--read-timeout-ms N] [--max-frame-bytes N] [--no-coalesce]
+//!                [--lazy [--mmap]]
 //! ```
 //!
 //! `--no-fields` drops the raw scalar fields from the index (features and
@@ -26,6 +29,11 @@
 //! every pair's candidate evaluations on one shared worker pool instead of
 //! paying session and pool startup per query.
 //!
+//! `--json` switches the query report from the human-readable lines to the
+//! canonical one-JSON-object-per-query rendering defined in
+//! `docs/serving.md` §5 — byte-identical to what the network daemon
+//! returns for the same queries, so offline and served output diff clean.
+//!
 //! `--lazy` opens the session demand-paged: segments are read (and their
 //! checksums verified) only when a query touches them, so open cost is
 //! O(header + manifest + geometry) regardless of corpus size. `--mmap`
@@ -39,13 +47,25 @@
 //! straight into the same shared-pool `query_many` path. `repl` serves
 //! parsed PQL queries interactively from one long-lived session: parse
 //! errors print caret diagnostics and leave the session running.
+//!
+//! `serve` runs the long-lived network daemon from `polygamy_serve`: PQL
+//! in, canonical JSON out, concurrent requests coalesced into one flat
+//! `query_many` dispatch. The wire protocol, limits and shutdown
+//! semantics are specified in `docs/serving.md`; the daemon exits after a
+//! client sends the shutdown frame (e.g. `loadgen --shutdown`).
 
 use polygamy_core::prelude::*;
 use polygamy_core::DataPolygamy;
 use polygamy_datagen::{urban_collection, UrbanConfig};
-use polygamy_store::{LazyIndex, LoadFilter, SourceBackend, Store, StoreSession};
+use polygamy_serve::{ServeOptions, Server};
+use polygamy_store::{
+    execute_pql_batch, execute_pql_query, LazyIndex, LoadFilter, PqlOutcome, PqlServeError,
+    SourceBackend, Store, StoreSession,
+};
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,19 +74,22 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: polygamy-store <build|inspect|query|repl> <path> [args]\n\
+                "usage: polygamy-store <build|inspect|query|repl|serve> <path> [args]\n\
                  \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields]\n\
                  \x20 inspect <path> [--verify]\n\
                  \x20 query <path> <left> <right> [--permutations N] \
-                 [--min-score X] [--include-insignificant] [--lazy [--mmap]]\n\
+                 [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]\n\
                  \x20 query <path> --batch <left:right>... [--permutations N] \
-                 [--min-score X] [--include-insignificant] [--lazy [--mmap]]\n\
+                 [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]\n\
                  \x20 query <path> --pql \"between taxi and * where score >= 0.6\" \
-                 [--lazy [--mmap]]\n\
-                 \x20 query <path> --file <queries.pql> [--lazy [--mmap]]\n\
-                 \x20 repl <path> [--lazy [--mmap]]"
+                 [--json] [--lazy [--mmap]]\n\
+                 \x20 query <path> --file <queries.pql> [--json] [--lazy [--mmap]]\n\
+                 \x20 repl <path> [--lazy [--mmap]]\n\
+                 \x20 serve <path> [--addr HOST:PORT] [--max-inflight N] \
+                 [--read-timeout-ms N] [--max-frame-bytes N] [--no-coalesce] [--lazy [--mmap]]"
             );
             return ExitCode::FAILURE;
         }
@@ -219,6 +242,15 @@ fn open_session(path: &str, args: &[String]) -> Result<StoreSession, String> {
     }
 }
 
+/// Parse errors render their caret diagnostic; execution errors print as
+/// one line.
+fn render_pql_error(e: PqlServeError, src: &str) -> String {
+    match e {
+        PqlServeError::Parse(e) => e.render(src),
+        PqlServeError::Execute(e) => e.to_string(),
+    }
+}
+
 /// The query flags that consume a value — the single source of truth for
 /// both clause parsing and positional-argument scanning, so adding a flag
 /// here keeps its value from being misread as a data set name.
@@ -279,18 +311,29 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .collect();
     // One query_many call: the whole batch shares a single worker pool.
     let results = session.query_many(&queries).map_err(|e| e.to_string())?;
-    for ((left, right), rels) in pairs.iter().zip(&results) {
-        println!("{} relationship(s) between {left} and {right}:", rels.len());
-        for rel in rels {
-            println!("  {rel}");
+    if args.iter().any(|a| a == "--json") {
+        for (query, relationships) in queries.into_iter().zip(results) {
+            let outcome = PqlOutcome {
+                query,
+                relationships,
+            };
+            println!("{}", outcome.to_json());
+        }
+    } else {
+        for ((left, right), rels) in pairs.iter().zip(&results) {
+            println!("{} relationship(s) between {left} and {right}:", rels.len());
+            for rel in rels {
+                println!("  {rel}");
+            }
         }
     }
     Ok(())
 }
 
 /// `query --pql "<text>"` / `query --file <queries.pql>`: the whole query
-/// — collections and clause — travels as PQL, compiled straight into the
-/// shared-pool `query_many` path.
+/// — collections and clause — travels as PQL through the same shared
+/// execute-and-render helper (`polygamy_store::pql_exec`) the REPL and
+/// the network daemon use, so all three paths render identical output.
 fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
     let text = flag_value(args, "--pql");
     let file = flag_value(args, "--file");
@@ -316,12 +359,20 @@ fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
         return Err("query: --pql/--file take no positional data-set arguments".into());
     }
 
-    let queries = match (text, file) {
-        (Some(src), None) => vec![parse_query(&src).map_err(|e| e.render(&src))?],
+    let session = open_session(path, args)?;
+    let outcomes = match (text, file) {
+        (Some(src), None) => execute_pql_query(&session, &src)
+            .map(|o| vec![o])
+            .map_err(|e| render_pql_error(e, &src))?,
         (None, Some(p)) => {
             let src =
                 std::fs::read_to_string(&p).map_err(|e| format!("query: cannot read {p}: {e}"))?;
-            parse_batch(&src).map_err(|e| e.render(&src))?
+            let outcomes =
+                execute_pql_batch(&session, &src).map_err(|e| render_pql_error(e, &src))?;
+            if outcomes.is_empty() {
+                return Err("query: the batch file contains no queries".into());
+            }
+            outcomes
         }
         // The flag was passed as the last argument, with nothing after it.
         (None, None) => {
@@ -329,17 +380,12 @@ fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
         }
         (Some(_), Some(_)) => unreachable!("rejected above"),
     };
-    if queries.is_empty() {
-        return Err("query: the batch file contains no queries".into());
-    }
-
-    let session = open_session(path, args)?;
-    // One query_many call: the whole batch shares a single worker pool.
-    let results = session.query_many(&queries).map_err(|e| e.to_string())?;
-    for (query, rels) in queries.iter().zip(&results) {
-        println!("{} relationship(s) for `{}`:", rels.len(), to_pql(query));
-        for rel in rels {
-            println!("  {rel}");
+    let json = args.iter().any(|a| a == "--json");
+    for outcome in &outcomes {
+        if json {
+            println!("{}", outcome.to_json());
+        } else {
+            println!("{}", outcome.render_text());
         }
     }
     Ok(())
@@ -408,24 +454,70 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses and serves one REPL line; failures print and return.
+/// Parses and serves one REPL line through the shared helper; failures
+/// print and return.
 fn repl_eval(session: &StoreSession, src: &str) {
-    let query = match parse_query(src) {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("{}", e.render(src));
-            return;
-        }
-    };
-    match session.query(&query) {
-        Ok(rels) => {
-            println!("{} relationship(s) for `{}`:", rels.len(), to_pql(&query));
-            for rel in &rels {
-                println!("  {rel}");
-            }
-        }
-        Err(e) => eprintln!("polygamy-store: {e}"),
+    match execute_pql_query(session, src) {
+        Ok(outcome) => println!("{}", outcome.render_text()),
+        Err(PqlServeError::Parse(e)) => eprintln!("{}", e.render(src)),
+        Err(PqlServeError::Execute(e)) => eprintln!("polygamy-store: {e}"),
     }
+}
+
+/// `serve <path>`: the long-running network daemon (`docs/serving.md`).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("serve: missing <path>")?;
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7461".into());
+    let mut opts = ServeOptions::default();
+    if let Some(v) = flag_value(args, "--max-inflight") {
+        opts.max_inflight = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("serve: --max-inflight expects a positive integer")?;
+    }
+    if let Some(v) = flag_value(args, "--read-timeout-ms") {
+        opts.read_timeout = Duration::from_millis(
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or("serve: --read-timeout-ms expects a positive integer")?,
+        );
+    }
+    if let Some(v) = flag_value(args, "--max-frame-bytes") {
+        opts.max_frame_bytes = v
+            .parse::<u32>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("serve: --max-frame-bytes expects a positive integer")?;
+    }
+    if args.iter().any(|a| a == "--no-coalesce") {
+        opts.coalesce = false;
+    }
+    let session = Arc::new(open_session(path, args)?);
+    let server = Server::bind(addr.as_str(), Arc::clone(&session), opts.clone())
+        .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    println!(
+        "polygamy-serve: serving {} data set(s) from {path} on {} \
+         (coalescing {}, max-inflight {}, read timeout {:?})",
+        session.loaded_datasets().len(),
+        server.local_addr(),
+        if opts.coalesce { "on" } else { "off" },
+        opts.max_inflight,
+        opts.read_timeout,
+    );
+    std::io::stdout().flush().ok();
+    let stats = server.wait();
+    println!(
+        "polygamy-serve: drained — {} request(s), {} query(ies) in {} dispatch(es), \
+         largest {} (mean {:.2} queries/dispatch)",
+        stats.requests,
+        stats.queries,
+        stats.batches,
+        stats.max_batch,
+        stats.mean_batch(),
+    );
+    Ok(())
 }
 
 /// The non-flag arguments, with each [`QUERY_VALUE_FLAGS`] value skipped.

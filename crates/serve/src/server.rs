@@ -1,0 +1,505 @@
+//! The daemon: accept loop, per-connection protocol state machine,
+//! limits, and graceful drain (`docs/serving.md` §4–§9).
+//!
+//! One [`Server`] owns one shared [`StoreSession`] (eager or lazy), a
+//! [`Coalescer`] over it, an accept thread, and one thread per live
+//! connection. Requests never evaluate on the connection thread when
+//! coalescing is on — they queue, and the dispatcher answers whole
+//! bursts with one flat `query_many` call.
+
+use crate::coalesce::{CoalesceStats, Coalescer, Rejection};
+use crate::protocol::{
+    write_frame, Frame, FrameError, FrameTag, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use polygamy_store::{PqlOutcome, StoreSession};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The server's JSON handshake, sent as the `H` frame payload on every
+/// accepted connection (`docs/serving.md` §7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// [`PROTOCOL_VERSION`] of the serving build; clients reject a
+    /// mismatch instead of guessing at frame semantics.
+    pub protocol: u32,
+    /// Human-readable server identification.
+    pub server: String,
+    /// Data sets this session serves, in catalog order.
+    pub datasets: Vec<String>,
+    /// Whether cross-connection batch coalescing is enabled.
+    pub coalescing: bool,
+}
+
+/// The JSON payload of an `E` frame (`docs/serving.md` §6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable kind: `parse`, `query`, `bad-frame`,
+    /// `overloaded`, `shutting-down` or `internal`.
+    pub error: String,
+    /// Human-readable detail; for `parse` errors this is the full
+    /// caret-underlined diagnostic from [`polygamy_core::pql`].
+    pub message: String,
+}
+
+impl WireError {
+    fn new(kind: &str, message: impl Into<String>) -> Self {
+        Self {
+            error: kind.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Tunable limits, all documented (with defaults) in the limits table of
+/// `docs/serving.md` §9.
+///
+/// ```
+/// use polygamy_serve::ServeOptions;
+/// let opts = ServeOptions::default();
+/// assert!(opts.coalesce);
+/// assert_eq!(opts.max_inflight, 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Admission cap in *queries* (not requests) queued or evaluating at
+    /// once; submissions beyond it block their connection (TCP
+    /// backpressure). CLI: `--max-inflight`.
+    pub max_inflight: usize,
+    /// A connection must deliver each frame within this long of the
+    /// previous frame's completion (or of connect); idle or stalled
+    /// connections are closed. CLI: `--read-timeout-ms`.
+    pub read_timeout: Duration,
+    /// Largest accepted frame length (tag + payload). CLI:
+    /// `--max-frame-bytes`.
+    pub max_frame_bytes: u32,
+    /// Evaluate requests through the cross-connection coalescer (the
+    /// default) or inline per request (the serial-dispatch baseline the
+    /// benchmarks compare against). CLI: `--no-coalesce`.
+    pub coalesce: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_inflight: 256,
+            read_timeout: Duration::from_secs(30),
+            max_frame_bytes: MAX_FRAME_BYTES,
+            coalesce: true,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads and dispatcher.
+struct Shared {
+    coalescer: Coalescer,
+    opts: ServeOptions,
+    draining: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    hello: Vec<u8>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flips the server into drain mode: stop accepting, refuse new
+    /// requests, let admitted work finish. Idempotent.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.coalescer.close();
+    }
+}
+
+/// A running PQL daemon bound to a TCP address.
+///
+/// ```no_run
+/// use polygamy_serve::{Server, ServeOptions};
+/// use polygamy_store::StoreSession;
+/// use std::sync::Arc;
+///
+/// let session = Arc::new(StoreSession::open_lazy("city.plst").unwrap());
+/// let server = Server::bind("127.0.0.1:7461", session, ServeOptions::default()).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// let stats = server.wait(); // returns once a client sends the shutdown frame
+/// println!("served {} queries in {} batches", stats.queries, stats.batches);
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port, then
+    /// [`Server::local_addr`]) and starts serving `session` with the
+    /// given options. The session is shared — concurrent connections are
+    /// answered from one index, one segment LRU and one query cache.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        session: Arc<StoreSession>,
+        opts: ServeOptions,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let hello = Hello {
+            protocol: PROTOCOL_VERSION,
+            server: format!("polygamy-serve {}", env!("CARGO_PKG_VERSION")),
+            datasets: session.loaded_datasets().to_vec(),
+            coalescing: opts.coalesce,
+        };
+        let shared = Arc::new(Shared {
+            coalescer: Coalescer::new(session, opts.max_inflight),
+            opts,
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            hello: serde_json::to_string(&hello)
+                .expect("hello serializes")
+                .into_bytes(),
+        });
+        let dispatcher = shared.opts.coalesce.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("polygamy-serve-dispatch".into())
+                .spawn(move || shared.coalescer.dispatch_loop())
+                .expect("spawn dispatcher")
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("polygamy-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Self {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            dispatcher,
+        })
+    }
+
+    /// The address the server actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Coalescing/admission counters so far.
+    pub fn stats(&self) -> CoalesceStats {
+        self.shared.coalescer.stats()
+    }
+
+    /// Begins a graceful drain from the host process (the wire's `S`
+    /// frame does the same): stop accepting, refuse new requests, finish
+    /// and flush everything already admitted. Idempotent; returns
+    /// immediately — pair with [`Server::wait`].
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Blocks until the server has fully drained (which requires a
+    /// shutdown trigger — [`Server::shutdown`] or a client `S` frame) and
+    /// every thread has exited; returns the final counters.
+    pub fn wait(mut self) -> CoalesceStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // No new connections can spawn now; join the existing ones.
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns poisoned"));
+        for h in conns {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        self.shared.coalescer.stats()
+    }
+}
+
+/// Accepts until drain begins; non-blocking with a sleep tick so the
+/// drain flag is observed promptly.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("polygamy-serve-conn".into())
+                    .spawn(move || serve_connection(stream, &shared2))
+                    .expect("spawn connection thread");
+                shared.conns.lock().expect("conns poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// How one attempt to read the next frame ended.
+enum NextFrame {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// Close the connection quietly (clean EOF, drain while idle).
+    Close,
+    /// The peer exceeded the read timeout (idle or stalled mid-frame).
+    TimedOut,
+    /// Framing broke in a way that poisons the stream position.
+    Fatal(FrameError),
+}
+
+/// Reads exactly `buf.len()` bytes with the connection's poll tick,
+/// honouring the frame deadline and (while no byte of the current frame
+/// has arrived) the drain flag.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    mut filled: usize,
+    deadline: Instant,
+    shared: &Shared,
+    frame_started: bool,
+) -> Result<usize, NextFrame> {
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && !frame_started {
+                    NextFrame::Close
+                } else {
+                    NextFrame::Fatal(FrameError::TruncatedFrame)
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.draining() && filled == 0 && !frame_started {
+                    return Err(NextFrame::Close);
+                }
+                if Instant::now() >= deadline {
+                    return Err(NextFrame::TimedOut);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NextFrame::Fatal(FrameError::Io(e))),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads the next frame, enforcing the read timeout: the deadline starts
+/// when the wait starts and is *not* extended by partial progress, so a
+/// drip-feeding client cannot hold a connection open indefinitely.
+fn next_frame(stream: &mut TcpStream, shared: &Shared) -> NextFrame {
+    let deadline = Instant::now() + shared.opts.read_timeout;
+    let mut prefix = [0u8; 4];
+    if let Err(out) = read_full(stream, &mut prefix, 0, deadline, shared, false) {
+        return out;
+    }
+    let length = u32::from_le_bytes(prefix);
+    if length == 0 {
+        return NextFrame::Fatal(FrameError::Empty);
+    }
+    if length > shared.opts.max_frame_bytes {
+        return NextFrame::Fatal(FrameError::Oversize {
+            declared: length,
+            max: shared.opts.max_frame_bytes,
+        });
+    }
+    let mut body = vec![0u8; length as usize];
+    if let Err(out) = read_full(stream, &mut body, 0, deadline, shared, true) {
+        return out;
+    }
+    let tag = body[0];
+    body.remove(0);
+    NextFrame::Frame(Frame { tag, payload: body })
+}
+
+fn send_error(stream: &mut TcpStream, err: &WireError) -> io::Result<()> {
+    let payload = serde_json::to_string(err).expect("wire errors serialize");
+    write_frame(stream, FrameTag::Error, payload.as_bytes())
+}
+
+/// The per-connection protocol state machine (`docs/serving.md` §4).
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    // The poll tick bounds how stale the drain flag and deadline checks
+    // can get; it must sit well under the read timeout.
+    let tick =
+        (shared.opts.read_timeout / 8).clamp(Duration::from_millis(5), Duration::from_millis(50));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    if write_frame(&mut stream, FrameTag::Hello, &shared.hello).is_err() {
+        return;
+    }
+    loop {
+        let frame = match next_frame(&mut stream, shared) {
+            NextFrame::Frame(f) => f,
+            NextFrame::Close | NextFrame::TimedOut => return,
+            NextFrame::Fatal(e) => {
+                // Best effort: tell the peer why before hanging up. After
+                // a framing fault the stream position is unreliable, so
+                // the connection always closes.
+                let _ = send_error(&mut stream, &WireError::new("bad-frame", e.to_string()));
+                return;
+            }
+        };
+        match frame.known_tag() {
+            Some(FrameTag::Query) => {
+                if !handle_query(&mut stream, shared, &frame.payload) {
+                    return;
+                }
+            }
+            Some(FrameTag::Shutdown) => {
+                // Acknowledge, then drain the whole server. The ack is
+                // written before drain begins so the shutting-down client
+                // always hears back.
+                let _ = write_frame(&mut stream, FrameTag::Result, b"{\"draining\":true}");
+                shared.begin_drain();
+                return;
+            }
+            Some(FrameTag::Hello) | Some(FrameTag::Result) | Some(FrameTag::Error) => {
+                // Server-only frames arriving at the server: a confused
+                // peer, but framing is intact — answer and keep serving.
+                if send_error(
+                    &mut stream,
+                    &WireError::new(
+                        "bad-frame",
+                        format!("tag `{}` is not a client request", frame.tag as char),
+                    ),
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+            None => {
+                // Unknown tag: likely a newer client. Typed error, keep
+                // the connection (forward-compatibility, §7).
+                if send_error(
+                    &mut stream,
+                    &WireError::new(
+                        "bad-frame",
+                        format!("unknown frame tag byte 0x{:02x}", frame.tag),
+                    ),
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one `Q` frame. Returns false when the connection must close.
+fn handle_query(stream: &mut TcpStream, shared: &Shared, payload: &[u8]) -> bool {
+    let src = match std::str::from_utf8(payload) {
+        Ok(s) => s,
+        Err(_) => {
+            return send_error(
+                stream,
+                &WireError::new("bad-frame", "request payload is not valid UTF-8"),
+            )
+            .is_ok();
+        }
+    };
+    if shared.draining() {
+        let _ = send_error(
+            stream,
+            &WireError::new("shutting-down", "server is draining; no new requests"),
+        );
+        return false;
+    }
+    // Parse here, on the connection thread: a parse error never occupies
+    // the dispatcher, and the error frame carries the same caret
+    // diagnostic the REPL prints (docs/serving.md §6).
+    let queries = match polygamy_core::pql::parse_batch(src) {
+        Ok(qs) => qs,
+        Err(e) => {
+            return send_error(stream, &WireError::new("parse", e.render(src))).is_ok();
+        }
+    };
+    if queries.is_empty() {
+        // A comment-only batch is a valid, empty request.
+        return write_frame(stream, FrameTag::Result, b"").is_ok();
+    }
+    let outcome = if shared.opts.coalesce {
+        match shared.coalescer.submit(queries.clone()) {
+            Ok(rx) => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    let _ = send_error(
+                        stream,
+                        &WireError::new("internal", "dispatcher exited mid-request"),
+                    );
+                    return false;
+                }
+            },
+            Err(rejection) => return report_rejection(stream, rejection),
+        }
+    } else {
+        match shared.coalescer.execute_inline(&queries) {
+            Ok(r) => r,
+            Err(rejection) => return report_rejection(stream, rejection),
+        }
+    };
+    match outcome {
+        Ok(results) => {
+            // One canonical JSON object per query, newline-separated, in
+            // request order — each line is byte-identical to what
+            // `polygamy-store query --json` prints for that query alone
+            // (docs/serving.md §5).
+            let body = queries
+                .into_iter()
+                .zip(results)
+                .map(|(query, relationships)| {
+                    PqlOutcome {
+                        query,
+                        relationships,
+                    }
+                    .to_json()
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            write_frame(stream, FrameTag::Result, body.as_bytes()).is_ok()
+        }
+        Err(e) => send_error(stream, &WireError::new("query", e.to_string())).is_ok(),
+    }
+}
+
+/// Renders an admission rejection; returns false when the connection
+/// must close.
+fn report_rejection(stream: &mut TcpStream, rejection: Rejection) -> bool {
+    match rejection {
+        Rejection::ShuttingDown => {
+            let _ = send_error(
+                stream,
+                &WireError::new("shutting-down", "server is draining; no new requests"),
+            );
+            false
+        }
+        Rejection::TooLarge {
+            queries,
+            max_inflight,
+        } => send_error(
+            stream,
+            &WireError::new(
+                "overloaded",
+                format!(
+                    "request carries {queries} queries, above the --max-inflight cap of \
+                     {max_inflight}; split the batch"
+                ),
+            ),
+        )
+        .is_ok(),
+    }
+}

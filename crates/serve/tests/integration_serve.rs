@@ -1,0 +1,437 @@
+//! End-to-end tests for the network daemon: a real store served over a
+//! real localhost socket, driven by the crate's own [`Client`] and, where
+//! the spec talks about malformed traffic, by raw `TcpStream` writes.
+//!
+//! The headline property pinned here is the one `docs/serving.md` §5/§8
+//! promises: a query answered inside a coalesced batch returns **byte
+//! identical** JSON to the same query executed solo and offline.
+
+use polygamy_core::prelude::*;
+use polygamy_core::DataPolygamy;
+use polygamy_serve::protocol::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
+use polygamy_serve::{
+    Client, Coalescer, FrameTag, Response, ServeOptions, Server, PROTOCOL_VERSION,
+};
+use polygamy_store::{execute_pql_batch, Store, StoreSession};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds a small two-data-set store (so queries have candidate pairs)
+/// in a fresh temp file and returns its path.
+fn build_store() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "plst-serve-test-{}-{}.plst",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut dp = DataPolygamy::new(
+        CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+        Config::fast_test(),
+    );
+    for (name, level, bump_at) in [
+        ("taxi", 1.0, 100i64),
+        ("weather", -2.0, 100),
+        ("noise", 0.5, 333),
+    ] {
+        let meta = DatasetMeta {
+            name: name.into(),
+            spatial_resolution: SpatialResolution::City,
+            temporal_resolution: TemporalResolution::Hour,
+            description: String::new(),
+        };
+        let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("signal"));
+        for h in 0..600i64 {
+            let v = if h == bump_at || h == bump_at + 137 {
+                40.0
+            } else {
+                level + (h % 24) as f64 * 0.05
+            };
+            b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v]).unwrap();
+        }
+        dp.add_dataset(b.build().unwrap());
+    }
+    dp.build_index();
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+    path
+}
+
+/// Starts a server over `path` on an ephemeral port.
+fn start_server(path: &PathBuf, opts: ServeOptions) -> Server {
+    let session = Arc::new(StoreSession::open(path).unwrap());
+    Server::bind("127.0.0.1:0", session, opts).unwrap()
+}
+
+/// The offline reference rendering: each query executed through the CLI's
+/// own helper on a fresh session, JSON per line.
+fn offline_json(path: &PathBuf, batch: &str) -> String {
+    let session = StoreSession::open(path).unwrap();
+    execute_pql_batch(&session, batch)
+        .unwrap()
+        .iter()
+        .map(|o| o.to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+const QUERIES: [&str; 4] = [
+    "between taxi and weather where permutations = 40 and include insignificant",
+    "between taxi and * where score >= 0",
+    "between weather, noise and taxi where include insignificant",
+    "between * and * where class = salient",
+];
+
+#[test]
+fn coalesced_response_is_byte_identical_to_solo_and_offline() {
+    let path = build_store();
+    let server = start_server(&path, ServeOptions::default());
+    let addr = server.local_addr();
+
+    // Fire all queries concurrently so the dispatcher has real batches to
+    // coalesce, one connection per client.
+    let handles: Vec<_> = QUERIES
+        .iter()
+        .map(|q| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                assert!(client.hello().coalescing);
+                assert_eq!(client.hello().protocol, PROTOCOL_VERSION);
+                match client.request(q).unwrap() {
+                    Response::Results(json) => json,
+                    Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+                }
+            })
+        })
+        .collect();
+    let served: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (q, json) in QUERIES.iter().zip(&served) {
+        // Solo over the network (fresh connection, nothing to coalesce
+        // with) and offline through the CLI helper must all agree.
+        let mut solo_client = Client::connect(addr).unwrap();
+        let solo = match solo_client.request(q).unwrap() {
+            Response::Results(json) => json,
+            Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+        };
+        assert_eq!(json, &solo, "coalesced vs solo for `{q}`");
+        assert_eq!(json, &offline_json(&path, q), "served vs offline for `{q}`");
+    }
+    // At least one relationship-bearing answer, or the test proves nothing.
+    assert!(served.iter().any(|j| j.contains("\"relationships\":[{")));
+
+    Client::connect(addr).unwrap().shutdown_server().unwrap();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn multi_query_request_returns_jsonl_in_request_order() {
+    let path = build_store();
+    let server = start_server(&path, ServeOptions::default());
+    let batch = "between taxi and weather\n# a comment\nbetween noise and *\n";
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let json = match client.request(batch).unwrap() {
+        Response::Results(json) => json,
+        Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+    };
+    assert_eq!(json.lines().count(), 2);
+    assert_eq!(json, offline_json(&path, batch));
+
+    // An all-comment batch is a valid, empty request (spec §5).
+    match client.request("# nothing here\n").unwrap() {
+        Response::Results(json) => assert_eq!(json, ""),
+        Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+    }
+
+    client.shutdown_server().unwrap();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn parse_and_query_errors_keep_the_connection_serving() {
+    let path = build_store();
+    let server = start_server(&path, ServeOptions::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A parse error answers with the caret diagnostic (spec §6)…
+    match client.request("betwixt taxi and weather").unwrap() {
+        Response::Error(e) => {
+            assert_eq!(e.error, "parse");
+            assert!(e.message.contains('^'), "no caret in: {}", e.message);
+        }
+        Response::Results(r) => panic!("parse error expected, got results: {r}"),
+    }
+    // …an unknown data set answers with a query error…
+    match client.request("between nosuch and taxi").unwrap() {
+        Response::Error(e) => assert_eq!(e.error, "query"),
+        Response::Results(r) => panic!("query error expected, got results: {r}"),
+    }
+    // …and the same connection still serves real queries afterwards.
+    match client.request("between taxi and weather").unwrap() {
+        Response::Results(json) => assert!(json.starts_with("{\"query\":")),
+        Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+    }
+
+    client.shutdown_server().unwrap();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn unknown_and_server_side_tags_answer_bad_frame_and_keep_serving() {
+    let path = build_store();
+    let server = start_server(&path, ServeOptions::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Swallow the hello.
+    assert_eq!(
+        read_frame(&mut stream, MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap()
+            .known_tag(),
+        Some(FrameTag::Hello)
+    );
+    // A tag this protocol version does not know…
+    stream.write_all(&2u32.to_le_bytes()).unwrap();
+    stream.write_all(b"Z!").unwrap();
+    let frame = read_frame(&mut stream, MAX_FRAME_BYTES).unwrap().unwrap();
+    assert_eq!(frame.known_tag(), Some(FrameTag::Error));
+    let text = String::from_utf8(frame.payload).unwrap();
+    assert!(text.contains("bad-frame"), "{text}");
+    // …and a server-only tag both leave the connection serving.
+    write_frame(&mut stream, FrameTag::Result, b"{}").unwrap();
+    let frame = read_frame(&mut stream, MAX_FRAME_BYTES).unwrap().unwrap();
+    assert_eq!(frame.known_tag(), Some(FrameTag::Error));
+    write_frame(&mut stream, FrameTag::Query, b"between taxi and weather").unwrap();
+    let frame = read_frame(&mut stream, MAX_FRAME_BYTES).unwrap().unwrap();
+    assert_eq!(frame.known_tag(), Some(FrameTag::Result));
+
+    server.shutdown();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn oversize_frame_answers_bad_frame_and_closes() {
+    let path = build_store();
+    let opts = ServeOptions {
+        max_frame_bytes: 1024,
+        ..ServeOptions::default()
+    };
+    let server = start_server(&path, opts);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    read_frame(&mut stream, MAX_FRAME_BYTES).unwrap().unwrap(); // hello
+    stream.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+    let frame = read_frame(&mut stream, MAX_FRAME_BYTES).unwrap().unwrap();
+    assert_eq!(frame.known_tag(), Some(FrameTag::Error));
+    let text = String::from_utf8(frame.payload).unwrap();
+    assert!(text.contains("bad-frame"), "{text}");
+    // After a framing fault the server hangs up (spec §6).
+    assert!(read_frame(&mut stream, MAX_FRAME_BYTES).unwrap().is_none());
+
+    server.shutdown();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn slow_client_is_disconnected_at_the_read_timeout() {
+    let path = build_store();
+    let opts = ServeOptions {
+        read_timeout: Duration::from_millis(250),
+        ..ServeOptions::default()
+    };
+    let server = start_server(&path, opts);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    read_frame(&mut stream, MAX_FRAME_BYTES).unwrap().unwrap(); // hello
+                                                                // Start a frame but never finish it: the deadline is fixed when the
+                                                                // frame wait begins, so stalling mid-frame cannot extend it.
+    stream.write_all(&30u32.to_le_bytes()).unwrap();
+    stream.write_all(b"Q").unwrap();
+    let started = Instant::now();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = Vec::new();
+    stream.read_to_end(&mut sink).unwrap(); // EOF once the server hangs up
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(150) && elapsed < Duration::from_secs(5),
+        "server closed after {elapsed:?}, expected ≈250ms"
+    );
+
+    server.shutdown();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn oversized_request_batch_is_rejected_as_overloaded() {
+    let path = build_store();
+    let opts = ServeOptions {
+        max_inflight: 2,
+        ..ServeOptions::default()
+    };
+    let server = start_server(&path, opts);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let batch = "between taxi and *\nbetween weather and *\nbetween noise and *";
+    match client.request(batch).unwrap() {
+        Response::Error(e) => assert_eq!(e.error, "overloaded"),
+        Response::Results(r) => panic!("overloaded error expected, got: {r}"),
+    }
+    // The rejection is per-request; the connection still serves.
+    match client.request("between taxi and weather").unwrap() {
+        Response::Results(json) => assert!(json.starts_with("{\"query\":")),
+        Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+    }
+
+    client.shutdown_server().unwrap();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn shutdown_frame_drains_and_refuses_new_requests() {
+    let path = build_store();
+    let server = start_server(&path, ServeOptions::default());
+    let addr = server.local_addr();
+
+    // A connection opened and answered before the drain…
+    let mut survivor = Client::connect(addr).unwrap();
+    match survivor.request("between taxi and weather").unwrap() {
+        Response::Results(_) => {}
+        Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+    }
+
+    Client::connect(addr).unwrap().shutdown_server().unwrap();
+    let stats = server.wait();
+    assert!(stats.requests >= 1);
+    assert!(stats.queries >= 1);
+
+    // …is closed by the drain, and the listener is gone: a new request on
+    // the old connection fails, and new connections are refused.
+    assert!(survivor.request("between taxi and weather").is_err());
+    let refused = TcpStream::connect(addr)
+        .map(|mut s| {
+            // Some platforms accept briefly in the backlog; the server must
+            // at least not answer with a hello.
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut buf = [0u8; 1];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        })
+        .unwrap_or(true);
+    assert!(refused, "server still serving after drain");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn serial_dispatch_mode_serves_the_same_bytes() {
+    let path = build_store();
+    let opts = ServeOptions {
+        coalesce: false,
+        ..ServeOptions::default()
+    };
+    let server = start_server(&path, opts);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert!(!client.hello().coalescing);
+    for q in QUERIES {
+        match client.request(q).unwrap() {
+            Response::Results(json) => assert_eq!(json, offline_json(&path, q)),
+            Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+        }
+    }
+    let stats = server.stats();
+    // Serial mode never merges: one dispatch per request.
+    assert_eq!(stats.batches, stats.requests);
+
+    client.shutdown_server().unwrap();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn coalescer_merges_queued_requests_into_one_dispatch() {
+    let path = build_store();
+    let session = Arc::new(StoreSession::open(&path).unwrap());
+    // No dispatcher thread: submissions park in the queue, so the batch
+    // shape is fully deterministic.
+    let coalescer = Arc::new(Coalescer::new(Arc::clone(&session), 64));
+    let receivers: Vec<_> = QUERIES
+        .iter()
+        .map(|q| {
+            let queries = polygamy_core::pql::parse_batch(q).unwrap();
+            (queries.clone(), coalescer.submit(queries).unwrap())
+        })
+        .collect();
+    assert_eq!(coalescer.dispatch_pending(), QUERIES.len());
+    let stats = coalescer.stats();
+    assert_eq!(stats.batches, 1, "all queued requests must merge");
+    assert_eq!(stats.max_batch, QUERIES.len() as u64);
+    for (queries, rx) in receivers {
+        let results = rx.recv().unwrap().unwrap();
+        assert_eq!(results.len(), queries.len());
+        // Byte-identity per request against a solo evaluation.
+        for (query, rels) in queries.iter().zip(&results) {
+            assert_eq!(rels, &session.query(query).unwrap());
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn coalescer_isolates_a_failing_request_from_its_batchmates() {
+    let path = build_store();
+    let session = Arc::new(StoreSession::open(&path).unwrap());
+    let coalescer = Coalescer::new(Arc::clone(&session), 64);
+    let good = polygamy_core::pql::parse_batch("between taxi and weather").unwrap();
+    let bad = polygamy_core::pql::parse_batch("between nosuch and taxi").unwrap();
+    let rx_good = coalescer.submit(good.clone()).unwrap();
+    let rx_bad = coalescer.submit(bad).unwrap();
+    coalescer.dispatch_pending();
+    let good_results = rx_good.recv().unwrap().expect("innocent request succeeds");
+    assert_eq!(good_results[0], session.query(&good[0]).unwrap());
+    assert!(
+        rx_bad.recv().unwrap().is_err(),
+        "guilty request fails alone"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+mod frame_codec_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any payload round-trips through the codec under any known tag,
+        /// and frames concatenate on the wire without resynchronization.
+        #[test]
+        fn frames_roundtrip(
+            payload in proptest::collection::vec(0u8..u8::MAX, 0..512),
+            tag_pick in 0usize..5,
+            extra in proptest::collection::vec(0u8..u8::MAX, 0..64),
+        ) {
+            let tag = [
+                FrameTag::Hello,
+                FrameTag::Query,
+                FrameTag::Result,
+                FrameTag::Error,
+                FrameTag::Shutdown,
+            ][tag_pick];
+            let mut wire = Vec::new();
+            write_frame(&mut wire, tag, &payload).unwrap();
+            write_frame(&mut wire, FrameTag::Query, &extra).unwrap();
+            let mut r = wire.as_slice();
+            let first = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+            prop_assert_eq!(first, Frame::new(tag, payload.clone()));
+            let second = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+            prop_assert_eq!(second, Frame::new(FrameTag::Query, extra.clone()));
+            prop_assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
+        }
+    }
+}

@@ -80,6 +80,7 @@ pub mod codec;
 pub mod error;
 pub mod format;
 pub mod lazy;
+pub mod pql_exec;
 pub mod session;
 pub mod source;
 pub mod store;
@@ -87,6 +88,7 @@ pub mod store;
 pub use error::{Result, StoreError};
 pub use format::{BlobLoc, Header, Manifest, SegmentInfo, VERSION};
 pub use lazy::LazyIndex;
+pub use pql_exec::{execute_pql_batch, execute_pql_query, PqlOutcome, PqlServeError};
 pub use session::StoreSession;
 pub use source::{SegmentSource, SourceBackend};
 pub use store::{LoadFilter, Store};

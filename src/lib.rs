@@ -13,18 +13,25 @@
 //!   permutations, baselines;
 //! * [`mapreduce`] — the in-process map-reduce substrate;
 //! * [`datagen`] — synthetic urban corpora with planted ground-truth
-//!   couplings.
+//!   couplings;
+//! * [`store`] — the persistent on-disk index store and its concurrent
+//!   serving sessions;
+//! * [`serve`] — the network serving layer: wire protocol, daemon,
+//!   batch coalescing, blocking client.
 //!
 //! The `docs/` directory holds the prose specifications: the
 //! [architecture overview](https://github.com/paper-repro/data-polygamy/blob/main/docs/architecture.md),
-//! the [PQL language reference](https://github.com/paper-repro/data-polygamy/blob/main/docs/pql.md)
-//! and the [on-disk store format](https://github.com/paper-repro/data-polygamy/blob/main/docs/store-format.md).
+//! the [PQL language reference](https://github.com/paper-repro/data-polygamy/blob/main/docs/pql.md),
+//! the [on-disk store format](https://github.com/paper-repro/data-polygamy/blob/main/docs/store-format.md)
+//! and the [network wire protocol](https://github.com/paper-repro/data-polygamy/blob/main/docs/serving.md).
 
 pub use polygamy_core as core;
 pub use polygamy_datagen as datagen;
 pub use polygamy_mapreduce as mapreduce;
+pub use polygamy_serve as serve;
 pub use polygamy_stats as stats;
 pub use polygamy_stdata as stdata;
+pub use polygamy_store as store;
 pub use polygamy_topology as topology;
 
 /// Everything a typical caller needs: the framework facade plus the data
