@@ -15,7 +15,8 @@
 //! snapshot invariants, exiting non-zero on any violation.
 
 use polygamy_bench::snapshot::{
-    today_utc, BenchSnapshot, CorpusInfo, Metrics, ServingMetrics, SNAPSHOT_SCHEMA_VERSION,
+    today_utc, BenchSnapshot, CorpusInfo, Metrics, ObsMetrics, ServingMetrics,
+    SNAPSHOT_SCHEMA_VERSION,
 };
 use polygamy_bench::{human_bytes, timed};
 use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
@@ -24,6 +25,7 @@ use polygamy_core::prelude::*;
 use polygamy_core::{run_query, DataPolygamy};
 use polygamy_datagen::{urban_collection, UrbanConfig};
 use polygamy_mapreduce::Cluster;
+use polygamy_obs::names;
 use polygamy_store::{LoadFilter, SourceBackend, Store, StoreSession};
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -170,7 +172,10 @@ fn run(args: &[String]) -> Result<(), String> {
         human_bytes(open_lazy_bytes as usize)
     );
 
-    // ---- First single-pair query: lazy faults in only that pair.
+    // ---- First single-pair query: lazy faults in only that pair. The
+    // registry snapshot taken here brackets the phase, so the deltas are
+    // exactly this phase's cache/fault/verification events.
+    let obs_pair_before = polygamy_obs::global().snapshot();
     let first = collection
         .datasets
         .first()
@@ -214,6 +219,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let (warm_res, warm_query_secs) =
         timed(|| lazy_session.query(&pair_query).map_err(|e| e.to_string()));
     let _ = warm_res?;
+    let obs_pair_after = polygamy_obs::global().snapshot();
     eprintln!(
         "first pair query: lazy {first_query_lazy_secs:.2}s (total {} read), eager {first_query_eager_secs:.2}s",
         human_bytes(lazy_bytes_after_first_query as usize)
@@ -254,12 +260,14 @@ fn run(args: &[String]) -> Result<(), String> {
     ]
     .into_iter()
     .collect();
+    let obs_serving_before = polygamy_obs::global().snapshot();
     let served = polygamy_bench::serving::measure_serving(
         &store_path,
         serve_clients,
         serve_requests,
         &serve_queries,
     )?;
+    let obs_serving_after = polygamy_obs::global().snapshot();
     eprintln!(
         "serving: coalesced {:.1} q/s vs serial {:.1} q/s — {} queries in {} dispatches \
          (mean batch {:.2})",
@@ -278,6 +286,64 @@ fn run(args: &[String]) -> Result<(), String> {
             black_box(parse_query(black_box(&pql)).expect("canonical PQL parses"));
         }
     });
+
+    // ---- Registry deltas for the obs section: exact event counts
+    // bracketed by the snapshots above, so concurrent phases cannot bleed
+    // into each other's numbers.
+    let delta =
+        |after: &polygamy_obs::MetricsSnapshot,
+         before: &polygamy_obs::MetricsSnapshot,
+         name: &str| { after.counter(name).saturating_sub(before.counter(name)) };
+    let batch_hist = |s: &polygamy_obs::MetricsSnapshot| {
+        s.histogram(names::SERVE_BATCH_SIZE)
+            .map(|h| (h.count(), h.sum))
+            .unwrap_or((0, 0))
+    };
+    let (dispatches_before, batch_sum_before) = batch_hist(&obs_serving_before);
+    let (dispatches_after, batch_sum_after) = batch_hist(&obs_serving_after);
+    let obs = ObsMetrics {
+        query_cache_hits: delta(
+            &obs_pair_after,
+            &obs_pair_before,
+            names::CORE_QUERY_CACHE_HITS,
+        ),
+        query_cache_misses: delta(
+            &obs_pair_after,
+            &obs_pair_before,
+            names::CORE_QUERY_CACHE_MISSES,
+        ),
+        segment_faults: delta(
+            &obs_pair_after,
+            &obs_pair_before,
+            names::STORE_SEGMENT_FAULTS,
+        ),
+        segment_cache_hits: delta(
+            &obs_pair_after,
+            &obs_pair_before,
+            names::STORE_SEGMENT_CACHE_HITS,
+        ),
+        checksum_verifications: delta(
+            &obs_pair_after,
+            &obs_pair_before,
+            names::STORE_CHECKSUM_VERIFICATIONS,
+        ),
+        checksum_failures: delta(
+            &obs_pair_after,
+            &obs_pair_before,
+            names::STORE_CHECKSUM_FAILURES,
+        ),
+        batch_dispatches: dispatches_after.saturating_sub(dispatches_before),
+        batch_queries: batch_sum_after.saturating_sub(batch_sum_before),
+    };
+    eprintln!(
+        "obs: {} segment fault(s), {} cache hit(s), {} verification(s); \
+         serving dispatched {} quer(ies) in {} batch(es)",
+        obs.segment_faults,
+        obs.segment_cache_hits,
+        obs.checksum_verifications,
+        obs.batch_queries,
+        obs.batch_dispatches
+    );
 
     let snapshot = BenchSnapshot {
         schema_version: SNAPSHOT_SCHEMA_VERSION,
@@ -312,6 +378,7 @@ fn run(args: &[String]) -> Result<(), String> {
             coalesced_batches: served.coalesced.batches,
             mean_coalesced_batch: served.coalesced.mean_batch(),
         },
+        obs,
     };
     let problems = snapshot.problems();
     if !problems.is_empty() {

@@ -25,7 +25,10 @@ use serde::{Deserialize, Serialize};
 /// * v1 — index build, store open, lazy fault-in, query rate, PQL parse.
 /// * v2 — adds the `serving` section: network daemon throughput,
 ///   coalesced vs serial dispatch (see `docs/serving.md` §8).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+/// * v3 — adds the `obs` section: metrics-registry deltas captured around
+///   the measurement phases (cache hit/miss, segment faults, checksum
+///   verifications, coalesced batch sizes — see `docs/observability.md`).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// Corpus and store shape the metrics were measured against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,6 +109,38 @@ pub struct ServingMetrics {
     pub mean_coalesced_batch: f64,
 }
 
+/// Metrics-registry deltas captured around the measurement phases
+/// (schema v3). Unlike the wall-clock numbers these are exact event
+/// counts from `polygamy_obs`, so validation can check structural
+/// invariants (a lazy session cannot fault more segments than the store
+/// holds; a dispatch carries at least one query) instead of tolerances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsMetrics {
+    /// `core.query_cache.hits` delta across the single-pair query phase —
+    /// the warm repeat must land here, so ≥ 1.
+    pub query_cache_hits: u64,
+    /// `core.query_cache.misses` delta across the same phase (the cold
+    /// lazy and eager first runs).
+    pub query_cache_misses: u64,
+    /// `store.segment_faults` delta: segments the lazy session demand-
+    /// paged for its queries. ≥ 1 and ≤ the corpus segment count.
+    pub segment_faults: u64,
+    /// `store.segment_cache_hits` delta: segment lookups the lazy cache
+    /// answered without touching the source.
+    pub segment_cache_hits: u64,
+    /// `store.checksum_verifications` delta: first-decode integrity
+    /// checks on faulted segments.
+    pub checksum_verifications: u64,
+    /// `store.checksum_failures` delta — anything but 0 is corruption.
+    pub checksum_failures: u64,
+    /// `serve.batch_size` histogram observation-count delta across the
+    /// serving phase: `query_many` dispatches both modes issued.
+    pub batch_dispatches: u64,
+    /// `serve.batch_size` histogram sum delta: queries those dispatches
+    /// carried. ≥ `batch_dispatches` and ≥ the per-mode query total.
+    pub batch_queries: u64,
+}
+
 /// One committed benchmark measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSnapshot {
@@ -125,6 +160,8 @@ pub struct BenchSnapshot {
     pub metrics: Metrics,
     /// Network serving throughput (schema v2).
     pub serving: ServingMetrics,
+    /// Metrics-registry deltas around the phases (schema v3).
+    pub obs: ObsMetrics,
 }
 
 impl BenchSnapshot {
@@ -210,6 +247,46 @@ impl BenchSnapshot {
                 "coalesced dispatch served {:.1} q/s vs {:.1} serial — \
                  coalescing made serving slower",
                 s.served_qps_coalesced, s.served_qps_serial
+            ));
+        }
+        let o = &self.obs;
+        if o.query_cache_hits == 0 {
+            out.push("obs: warm repeat never hit the query cache".into());
+        }
+        if o.segment_faults == 0 {
+            out.push("obs: lazy session never faulted a segment".into());
+        }
+        if o.segment_faults > self.corpus.n_segments as u64 {
+            out.push(format!(
+                "obs: {} segment faults, but the store only holds {} segments \
+                 — the lazy cache is thrashing",
+                o.segment_faults, self.corpus.n_segments
+            ));
+        }
+        if o.checksum_verifications < o.segment_faults {
+            out.push(format!(
+                "obs: {} faults but only {} checksum verifications — \
+                 segments decoded unverified",
+                o.segment_faults, o.checksum_verifications
+            ));
+        }
+        if o.checksum_failures != 0 {
+            out.push(format!(
+                "obs: {} checksum failure(s) — store corruption",
+                o.checksum_failures
+            ));
+        }
+        if o.batch_dispatches == 0 || o.batch_queries < o.batch_dispatches {
+            out.push(format!(
+                "obs: {} dispatches carrying {} queries — a dispatch holds ≥ 1 query",
+                o.batch_dispatches, o.batch_queries
+            ));
+        }
+        if o.batch_queries < s.queries_total {
+            out.push(format!(
+                "obs: batch histogram saw {} queries, serving ran {} per mode \
+                 — dispatches went unobserved",
+                o.batch_queries, s.queries_total
             ));
         }
         out
@@ -317,6 +394,16 @@ mod tests {
                 coalesced_batches: 8,
                 mean_coalesced_batch: 3.0,
             },
+            obs: ObsMetrics {
+                query_cache_hits: 1,
+                query_cache_misses: 2,
+                segment_faults: 6,
+                segment_cache_hits: 6,
+                checksum_verifications: 6,
+                checksum_failures: 0,
+                batch_dispatches: 32,
+                batch_queries: 48,
+            },
         }
     }
 
@@ -348,6 +435,23 @@ mod tests {
         // Within the noise allowance: tolerated.
         snap.serving.served_qps_coalesced = 0.9 * snap.serving.served_qps_serial;
         assert!(snap.problems().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_obs_violations() {
+        let mut snap = sample();
+        // More faults than the store has segments, and a corruption.
+        snap.obs.segment_faults = snap.corpus.n_segments as u64 + 1;
+        snap.obs.checksum_verifications = snap.obs.segment_faults;
+        snap.obs.checksum_failures = 1;
+        let problems = snap.problems();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        // A dispatch carrying less than one query is structurally
+        // impossible (31 still covers the per-mode total of 24).
+        let mut snap = sample();
+        snap.obs.batch_queries = snap.obs.batch_dispatches - 1;
+        let problems = snap.problems();
+        assert_eq!(problems.len(), 1, "{problems:?}");
     }
 
     #[test]

@@ -125,8 +125,9 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         })
     }
 
-    fn insert(&mut self, key: K, value: V, capacity: usize) {
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> bool {
         self.tick += 1;
+        let mut evicted = false;
         if !self.map.contains_key(&key) && self.map.len() >= capacity {
             if let Some(oldest) = self
                 .map
@@ -135,9 +136,11 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                evicted = true;
             }
         }
         self.map.insert(key, (value, self.tick));
+        evicted
     }
 }
 
@@ -181,10 +184,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     }
 
     /// Inserts `key → value`, evicting the shard's least-recently-used
-    /// entry when the shard is full.
-    pub fn insert(&self, key: K, value: V) {
+    /// entry when the shard is full. Returns `true` when an older entry
+    /// was evicted to make room — callers feed this into the registry's
+    /// eviction counters.
+    pub fn insert(&self, key: K, value: V) -> bool {
         let shard = self.shard(&key);
-        shard.lock().insert(key, value, self.per_shard_capacity);
+        shard.lock().insert(key, value, self.per_shard_capacity)
     }
 
     /// Number of cached entries across all shards.
@@ -270,10 +275,17 @@ mod tests {
         // Capacity 8 over 8 shards = 1 entry per shard: inserting two keys
         // that land in the same shard must evict the older one.
         let c: ShardedLruCache<u64, u64> = ShardedLruCache::new(8);
+        let mut evictions = 0usize;
         for k in 0..64 {
-            c.insert(k, k);
+            if c.insert(k, k) {
+                evictions += 1;
+            }
         }
         assert!(c.len() <= c.capacity());
+        // The insert return value accounts exactly for the entries that
+        // went missing — the contract the registry's eviction counters
+        // are built on.
+        assert_eq!(evictions, 64 - c.len());
         // The last key inserted into its shard is still present.
         assert_eq!(c.get(&63), Some(63));
     }

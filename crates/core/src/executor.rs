@@ -21,6 +21,14 @@
 //! Cache lookups stay on the coordinating thread: hits are spliced into the
 //! plan, only misses are scheduled, and identical (pair, clause) requests
 //! appearing several times in one batch are evaluated once.
+//!
+//! Every call reports through [`polygamy_obs`]: stage wall times
+//! (`core.stage.*_ns`), task/cache counters (`core.*`), and — when the
+//! calling thread is inside [`polygamy_obs::trace::record`] — the same
+//! events into the per-query trace (spans `cache-resolve`, `expand`,
+//! `evaluate`, `assemble`). Instrumentation never touches the result
+//! values, so traced and untraced executions stay byte-identical (the
+//! determinism matrix pins this).
 
 use crate::cache::QueryCache;
 use crate::error::{Error, Result};
@@ -30,9 +38,48 @@ use crate::operator::{evaluate_unit, expand_pair_tasks, UnitTask};
 use crate::query::RelationshipQuery;
 use crate::relationship::Relationship;
 use polygamy_mapreduce::run_chunked_tasks;
+use polygamy_obs::{names, trace, Counter};
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Cached registry handles for the executor's metrics — resolved once
+/// per process, so the hot path pays only relaxed atomic adds.
+struct ExecMetrics {
+    queries: Arc<Counter>,
+    tasks_expanded: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    plan_ns: Arc<Counter>,
+    expand_ns: Arc<Counter>,
+    evaluate_ns: Arc<Counter>,
+    assemble_ns: Arc<Counter>,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = polygamy_obs::global();
+        ExecMetrics {
+            queries: r.counter(names::CORE_QUERIES),
+            tasks_expanded: r.counter(names::CORE_TASKS_EXPANDED),
+            cache_hits: r.counter(names::CORE_QUERY_CACHE_HITS),
+            cache_misses: r.counter(names::CORE_QUERY_CACHE_MISSES),
+            cache_evictions: r.counter(names::CORE_QUERY_CACHE_EVICTIONS),
+            plan_ns: r.counter(names::CORE_STAGE_PLAN_NS),
+            expand_ns: r.counter(names::CORE_STAGE_EXPAND_NS),
+            evaluate_ns: r.counter(names::CORE_STAGE_EVALUATE_NS),
+            assemble_ns: r.counter(names::CORE_STAGE_ASSEMBLE_NS),
+        }
+    })
+}
+
+/// Elapsed nanoseconds, saturating into `u64`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// How one canonical pair of a planned query is satisfied.
 enum PairSource {
@@ -132,10 +179,18 @@ pub(crate) fn execute_queries(
     cache: &QueryCache,
     queries: &[RelationshipQuery],
 ) -> Result<Vec<Vec<Relationship>>> {
+    let metrics = exec_metrics();
+    metrics.queries.add(queries.len() as u64);
+    trace::add("queries", queries.len() as u64);
+
     // ---- Plan: resolve names, canonicalise pairs, split hits from misses.
+    let t_plan = Instant::now();
+    let plan_span = trace::span("cache-resolve");
     let resolve = |names: &Option<Vec<String>>| -> Result<Vec<usize>> {
         resolve_collection(index.datasets(), names)
     };
+    let mut n_hits = 0u64;
+    let mut n_misses = 0u64;
     let mut misses: Vec<Miss> = Vec::new();
     let mut miss_of: HashMap<(usize, usize, u64), usize> = HashMap::new();
     let mut plans: Vec<Vec<PairSource>> = Vec::with_capacity(queries.len());
@@ -166,8 +221,12 @@ pub(crate) fn execute_queries(
                 }
                 let key = (pair.0, pair.1, clause_key);
                 match cache.get(&key) {
-                    Some(hit) => plan.push(PairSource::Cached(hit)),
+                    Some(hit) => {
+                        n_hits += 1;
+                        plan.push(PairSource::Cached(hit));
+                    }
                     None => {
+                        n_misses += 1;
                         let mi = *miss_of.entry(key).or_insert_with(|| {
                             misses.push(Miss {
                                 key,
@@ -182,9 +241,17 @@ pub(crate) fn execute_queries(
         }
         plans.push(plan);
     }
+    drop(plan_span);
+    metrics.plan_ns.add(elapsed_ns(t_plan));
+    metrics.cache_hits.add(n_hits);
+    metrics.cache_misses.add(n_misses);
+    trace::add("cache_hits", n_hits);
+    trace::add("cache_misses", n_misses);
 
     // ---- Expand every miss into its flat unit-task list (geometry is
     // validated here, on the coordinating thread).
+    let t_expand = Instant::now();
+    let expand_span = trace::span("expand");
     let mut tasks: Vec<UnitTask> = Vec::new();
     let mut task_ranges: Vec<Range<usize>> = Vec::with_capacity(misses.len());
     for miss in &misses {
@@ -199,8 +266,14 @@ pub(crate) fn execute_queries(
         )?;
         task_ranges.push(start..tasks.len());
     }
+    drop(expand_span);
+    metrics.expand_ns.add(elapsed_ns(t_expand));
+    metrics.tasks_expanded.add(tasks.len() as u64);
+    trace::add("tasks_expanded", tasks.len() as u64);
 
     // ---- Evaluate the entire batch on one shared pool.
+    let t_evaluate = Instant::now();
+    let evaluate_span = trace::span("evaluate");
     let workers = config.cluster.workers();
     let results = run_chunked_tasks(
         workers,
@@ -208,14 +281,20 @@ pub(crate) fn execute_queries(
         task_chunk_size(tasks.len(), workers),
         |i| evaluate_unit(&tasks[i], config),
     );
+    drop(evaluate_span);
+    metrics.evaluate_ns.add(elapsed_ns(t_evaluate));
 
     // ---- Assemble per-miss results in canonical task order; fill the cache.
+    let t_assemble = Instant::now();
+    let assemble_span = trace::span("assemble");
     let mut results = results.into_iter();
     let mut evaluated: Vec<Arc<Vec<Relationship>>> = Vec::with_capacity(misses.len());
     for (miss, range) in misses.iter().zip(&task_ranges) {
         let rels: Vec<Relationship> = results.by_ref().take(range.len()).flatten().collect();
         let rels = Arc::new(rels);
-        cache.insert(miss.key, Arc::clone(&rels));
+        if cache.insert(miss.key, Arc::clone(&rels)) {
+            metrics.cache_evictions.inc();
+        }
         evaluated.push(rels);
     }
 
@@ -232,6 +311,8 @@ pub(crate) fn execute_queries(
         sort_relationships(&mut rels);
         out.push(rels);
     }
+    drop(assemble_span);
+    metrics.assemble_ns.add(elapsed_ns(t_assemble));
     Ok(out)
 }
 

@@ -40,7 +40,7 @@ mod parser;
 mod printer;
 
 pub use error::{PqlError, PqlErrorKind, Span};
-pub use parser::{parse_query, parse_resolution, RESERVED_WORDS};
+pub use parser::{parse_query, parse_query_maybe_explain, parse_resolution, RESERVED_WORDS};
 pub use printer::{resolution_name, to_pql};
 
 use crate::query::RelationshipQuery;
@@ -111,6 +111,23 @@ mod tests {
         let err = parse_batch("between a\nand b\n").unwrap_err();
         assert!(matches!(err.kind, PqlErrorKind::UnexpectedEnd { .. }));
         assert_eq!(err.span, Span::at("between a".len()));
+    }
+
+    #[test]
+    fn explain_prefix_is_stripped_and_flagged() {
+        let (q, explain) = parse_query_maybe_explain("explain between a and b").unwrap();
+        assert!(explain);
+        assert_eq!(q, RelationshipQuery::between(&["a"], &["b"]));
+        // The canonical rendering never contains `explain`: the prefix is
+        // a frontend directive, invisible to cache keys and printers.
+        assert_eq!(to_pql(&q), "between a and b");
+        let (plain, flagged) = parse_query_maybe_explain("between a and b").unwrap();
+        assert!(!flagged);
+        assert_eq!(plain, q);
+        // `explain` is not reserved — it still works as a data-set name.
+        let (named, flagged) = parse_query_maybe_explain("between explain and *").unwrap();
+        assert!(!flagged);
+        assert_eq!(named, RelationshipQuery::of("explain"));
     }
 
     #[test]

@@ -46,6 +46,29 @@ pub fn parse_query(src: &str) -> Result<RelationshipQuery, PqlError> {
     parse_tokens(&tokens, src.len())
 }
 
+/// Parses one PQL query that may carry a leading `explain` keyword —
+/// the REPL's tracing prefix. Returns the parsed query and whether
+/// `explain` was present.
+///
+/// `explain` is a *frontend* directive, not part of the query: it is
+/// stripped before parsing, never reaches [`RelationshipQuery`], and so
+/// can never leak into cache keys or the canonical [`super::to_pql`]
+/// rendering. It is also not a reserved word — `between explain and *`
+/// still names a data set called `explain`.
+pub fn parse_query_maybe_explain(src: &str) -> Result<(RelationshipQuery, bool), PqlError> {
+    let tokens = lex(src)?;
+    if let Some(Token {
+        kind: TokenKind::Word(w),
+        ..
+    }) = tokens.first()
+    {
+        if w == "explain" {
+            return parse_tokens(&tokens[1..], src.len()).map(|q| (q, true));
+        }
+    }
+    parse_tokens(&tokens, src.len()).map(|q| (q, false))
+}
+
 /// Parses a pre-lexed token stream to completion. `end` is the byte
 /// position reported by end-of-input errors (the source length).
 pub(super) fn parse_tokens(tokens: &[Token], end: usize) -> Result<RelationshipQuery, PqlError> {

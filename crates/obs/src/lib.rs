@@ -1,0 +1,122 @@
+//! # polygamy-obs — the observability substrate
+//!
+//! A zero-dependency metrics-and-tracing core shared by every layer of
+//! the Data Polygamy reproduction: the flat executor, the demand-paged
+//! store, the network daemon and the load generator all report through
+//! the types in this crate, so one `MetricsSnapshot` explains a whole
+//! process. The prose catalogue (metric names, span names, trace JSON
+//! shape, overhead statement) lives in `docs/observability.md`.
+//!
+//! Three pieces:
+//!
+//! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) — lock-free
+//!   atomics; histograms use *pinned* bucket boundaries (constants in
+//!   this crate, covered by regression tests) so snapshots are
+//!   comparable across PRs and across the client/server divide.
+//! * **The registry** ([`Registry`], [`global`]) — a process-wide,
+//!   lazily-populated name → instrument map. [`Registry::snapshot`]
+//!   captures everything as a [`MetricsSnapshot`] with a deterministic
+//!   JSON rendering ([`MetricsSnapshot::to_json`]) and a matching parser
+//!   ([`MetricsSnapshot::parse_json`]) so clients can validate server
+//!   snapshots without a JSON dependency.
+//! * **Tracing** ([`trace`]) — a thread-local span collector.
+//!   [`trace::span`] is compiled in everywhere but does not even read
+//!   the clock unless a collector is installed ([`trace::record`]), so
+//!   the untraced hot path stays untouched.
+//!
+//! ```
+//! use polygamy_obs::{global, trace};
+//!
+//! let counter = global().counter("example.widgets");
+//! let (sum, t) = trace::record(|| {
+//!     let _span = trace::span("add");
+//!     trace::add("widgets", 2);
+//!     counter.add(2);
+//!     40 + 2
+//! });
+//! assert_eq!(sum, 42);
+//! assert_eq!(t.counter("widgets"), 2);
+//! assert_eq!(t.spans.len(), 1);
+//! assert!(global().snapshot().counter("example.widgets") >= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod registry;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_US,
+};
+pub use registry::{global, MetricsSnapshot, Registry};
+
+/// The canonical metric names every layer registers under — one place,
+/// so producers (instrumented crates) and consumers (snapshots, tests,
+/// the `M` protocol frame) can never drift. The full catalogue with
+/// semantics is `docs/observability.md`.
+pub mod names {
+    /// Queries planned by the flat executor (counter).
+    pub const CORE_QUERIES: &str = "core.queries";
+    /// Unit tasks expanded across all queries (counter).
+    pub const CORE_TASKS_EXPANDED: &str = "core.tasks_expanded";
+    /// Query-cache hits resolved while planning (counter).
+    pub const CORE_QUERY_CACHE_HITS: &str = "core.query_cache.hits";
+    /// Query-cache misses scheduled for evaluation (counter).
+    pub const CORE_QUERY_CACHE_MISSES: &str = "core.query_cache.misses";
+    /// Query-cache insertions that evicted an older entry (counter).
+    pub const CORE_QUERY_CACHE_EVICTIONS: &str = "core.query_cache.evictions";
+    /// Cumulative wall time of the plan/cache-resolve stage (counter, ns).
+    pub const CORE_STAGE_PLAN_NS: &str = "core.stage.plan_ns";
+    /// Cumulative wall time of the task-expansion stage (counter, ns).
+    pub const CORE_STAGE_EXPAND_NS: &str = "core.stage.expand_ns";
+    /// Cumulative wall time of the evaluate stage (counter, ns).
+    pub const CORE_STAGE_EVALUATE_NS: &str = "core.stage.evaluate_ns";
+    /// Cumulative wall time of the assemble stage (counter, ns).
+    pub const CORE_STAGE_ASSEMBLE_NS: &str = "core.stage.assemble_ns";
+
+    /// Bytes read from `.plst` stores through `SegmentSource` (counter).
+    pub const STORE_BYTES_FETCHED: &str = "store.bytes_fetched";
+    /// Lazy segment faults: segments decoded on demand (counter).
+    pub const STORE_SEGMENT_FAULTS: &str = "store.segment.faults";
+    /// Lazy segment-cache hits (counter).
+    pub const STORE_SEGMENT_CACHE_HITS: &str = "store.segment.cache_hits";
+    /// Lazy segment-cache insertions that evicted an entry (counter).
+    pub const STORE_SEGMENT_EVICTIONS: &str = "store.segment.evictions";
+    /// Segment checksum verifications performed (counter).
+    pub const STORE_CHECKSUM_VERIFICATIONS: &str = "store.checksum.verifications";
+    /// Segment checksum verifications that failed (counter).
+    pub const STORE_CHECKSUM_FAILURES: &str = "store.checksum.failures";
+
+    /// Connections the daemon accepted (counter).
+    pub const SERVE_CONNECTIONS_OPENED: &str = "serve.connections.opened";
+    /// Connections that finished (any reason) (counter).
+    pub const SERVE_CONNECTIONS_CLOSED: &str = "serve.connections.closed";
+    /// Currently live connections (gauge).
+    pub const SERVE_CONNECTIONS_ACTIVE: &str = "serve.connections.active";
+    /// Requests admitted by the coalescer (counter).
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Individual queries admitted (counter).
+    pub const SERVE_QUERIES: &str = "serve.queries";
+    /// `query_many` dispatches issued (counter).
+    pub const SERVE_BATCHES: &str = "serve.batches";
+    /// Requests queued, waiting for the dispatcher (gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Queries admitted but not yet answered (gauge).
+    pub const SERVE_INFLIGHT: &str = "serve.inflight";
+    /// Queries per dispatch (histogram over [`super::BATCH_SIZE_BUCKETS`]).
+    pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
+    /// `M` metrics frames answered (counter).
+    pub const SERVE_METRICS_FRAMES: &str = "serve.metrics_frames";
+    /// Wall time of the graceful drain, begin-to-exit (counter, ns).
+    pub const SERVE_DRAIN_NS: &str = "serve.drain_ns";
+    /// Prefix for per-kind error counters: `serve.errors.<kind>` with the
+    /// wire kinds of `docs/serving.md` §6 (`parse`, `query`, `bad-frame`,
+    /// `overloaded`, `shutting-down`, `internal`).
+    pub const SERVE_ERRORS_PREFIX: &str = "serve.errors.";
+
+    /// Client-observed per-request latency in µs (histogram over
+    /// [`super::LATENCY_BUCKETS_US`]) — recorded by `loadgen`.
+    pub const LOADGEN_LATENCY_US: &str = "loadgen.latency_us";
+}

@@ -1,0 +1,378 @@
+//! The process-wide instrument registry and its serializable snapshot.
+
+use crate::json::{self, write_string, ParseError, Value};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A name → instrument map. Instruments are created on first request and
+/// live for the registry's lifetime; handles are cheap `Arc` clones, so
+/// hot paths resolve a name once and keep the handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every layer reports into — the thing the
+/// daemon's `M` frame, `--metrics-jsonl` and `polygamy-store inspect`
+/// snapshot.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.inner
+                .lock()
+                .expect("registry poisoned")
+                .counters
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge registered under `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.inner
+                .lock()
+                .expect("registry poisoned")
+                .gauges
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram registered under `name`, created over `bounds` on
+    /// first use. Every caller must pass the same pinned bounds for a
+    /// given name (debug-asserted): mixed bounds would make the merged
+    /// distribution meaningless.
+    pub fn histogram(&self, name: &str, bounds: &'static [u64]) -> Arc<Histogram> {
+        let h = Arc::clone(
+            self.inner
+                .lock()
+                .expect("registry poisoned")
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        );
+        debug_assert_eq!(
+            h.bounds(),
+            bounds,
+            "histogram `{name}` registered with conflicting bounds"
+        );
+        h
+    }
+
+    /// A point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`] — the payload of the daemon's
+/// `M` frame, of `--metrics-jsonl` lines, and of the benchmark
+/// snapshot's observability section.
+///
+/// The JSON rendering is **deterministic** (names sort lexicographically
+/// — `BTreeMap` order), so two snapshots of identical state are
+/// byte-identical, and [`MetricsSnapshot::parse_json`] inverts
+/// [`MetricsSnapshot::to_json`] exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram bins by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter's value, zero when it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge's level, zero when it was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// True when every counter in `self` is ≥ its value in `earlier` —
+    /// the monotonicity check clients run across repeated `M` frames.
+    pub fn is_monotonic_since(&self, earlier: &MetricsSnapshot) -> bool {
+        earlier
+            .counters
+            .iter()
+            .all(|(name, &v)| self.counter(name) >= v)
+    }
+
+    /// The canonical single-line JSON rendering:
+    ///
+    /// ```text
+    /// {"counters":{…},"gauges":{…},"histograms":{"name":{"bounds":[…],"counts":[…],"sum":N}}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, name);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"sum\":{}}}", h.sum);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses the JSON produced by [`MetricsSnapshot::to_json`]. All
+    /// three sections are required; unknown extra keys are rejected, so
+    /// a malformed or foreign payload fails loudly.
+    pub fn parse_json(src: &str) -> Result<Self, ParseError> {
+        let root = json::parse(src)?;
+        let fields = root.as_object().ok_or_else(|| ParseError {
+            message: "snapshot must be a JSON object".into(),
+            offset: 0,
+        })?;
+        let known = ["counters", "gauges", "histograms"];
+        if let Some((k, _)) = fields.iter().find(|(k, _)| !known.contains(&k.as_str())) {
+            return Err(ParseError {
+                message: format!("unknown snapshot section `{k}`"),
+                offset: 0,
+            });
+        }
+        let section = |name: &str| -> Result<&[(String, Value)], ParseError> {
+            root.field(name)
+                .and_then(Value::as_object)
+                .ok_or_else(|| ParseError {
+                    message: format!("missing `{name}` object"),
+                    offset: 0,
+                })
+        };
+        let mut snapshot = MetricsSnapshot::default();
+        for (name, v) in section("counters")? {
+            let n = v.as_int().and_then(|n| u64::try_from(n).ok());
+            snapshot.counters.insert(
+                name.clone(),
+                n.ok_or_else(|| ParseError {
+                    message: format!("counter `{name}` is not a u64"),
+                    offset: 0,
+                })?,
+            );
+        }
+        for (name, v) in section("gauges")? {
+            let n = v.as_int().and_then(|n| i64::try_from(n).ok());
+            snapshot.gauges.insert(
+                name.clone(),
+                n.ok_or_else(|| ParseError {
+                    message: format!("gauge `{name}` is not an i64"),
+                    offset: 0,
+                })?,
+            );
+        }
+        for (name, v) in section("histograms")? {
+            let ints = |field: &str| -> Result<Vec<u64>, ParseError> {
+                v.field(field)
+                    .and_then(Value::as_array)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .map(|i| i.as_int().and_then(|n| u64::try_from(n).ok()))
+                            .collect::<Option<Vec<u64>>>()
+                    })
+                    .and_then(|o| o)
+                    .ok_or_else(|| ParseError {
+                        message: format!("histogram `{name}` lacks a u64 `{field}` array"),
+                        offset: 0,
+                    })
+            };
+            let bounds = ints("bounds")?;
+            let counts = ints("counts")?;
+            let sum = v
+                .field("sum")
+                .and_then(Value::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| ParseError {
+                    message: format!("histogram `{name}` lacks a u64 `sum`"),
+                    offset: 0,
+                })?;
+            if counts.len() != bounds.len() + 1 {
+                return Err(ParseError {
+                    message: format!(
+                        "histogram `{name}` has {} counts for {} bounds",
+                        counts.len(),
+                        bounds.len()
+                    ),
+                    offset: 0,
+                });
+            }
+            snapshot.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    bounds,
+                    counts,
+                    sum,
+                },
+            );
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::BATCH_SIZE_BUCKETS;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").get(), 5);
+        r.gauge("g").add(4);
+        assert_eq!(r.gauge("g").get(), 4);
+        r.histogram("h", BATCH_SIZE_BUCKETS).record(3);
+        assert_eq!(r.histogram("h", BATCH_SIZE_BUCKETS).snapshot().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_byte_exactly() {
+        let r = Registry::new();
+        r.counter("store.bytes_fetched").add(512);
+        r.counter("core.queries").inc();
+        r.gauge("serve.inflight").set(-3);
+        let h = r.histogram("serve.batch_size", BATCH_SIZE_BUCKETS);
+        h.record(1);
+        h.record(7);
+        h.record(9999); // overflow
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let parsed = MetricsSnapshot::parse_json(&json).expect("parses");
+        assert_eq!(parsed, snap);
+        // Determinism: rendering the parse re-produces the same bytes.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn snapshot_json_shape_is_pinned() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").add(1);
+        r.gauge("g").set(-1);
+        r.histogram("h", &[1, 2]).record(2);
+        assert_eq!(
+            r.snapshot().to_json(),
+            r#"{"counters":{"a":1,"b":2},"gauges":{"g":-1},"histograms":{"h":{"bounds":[1,2],"counts":[0,1,0],"sum":2}}}"#
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_snapshots() {
+        assert!(MetricsSnapshot::parse_json("{}").is_err());
+        assert!(MetricsSnapshot::parse_json("[]").is_err());
+        assert!(MetricsSnapshot::parse_json(
+            r#"{"counters":{},"gauges":{},"histograms":{},"extra":{}}"#
+        )
+        .is_err());
+        assert!(MetricsSnapshot::parse_json(
+            r#"{"counters":{"c":-1},"gauges":{},"histograms":{}}"#
+        )
+        .is_err());
+        assert!(MetricsSnapshot::parse_json(
+            r#"{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1],"counts":[0],"sum":0}}}"#
+        )
+        .is_err());
+        assert!(
+            MetricsSnapshot::parse_json(r#"{"counters":{},"gauges":{},"histograms":{}}"#).is_ok()
+        );
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let mut earlier = MetricsSnapshot::default();
+        earlier.counters.insert("a".into(), 2);
+        let mut later = earlier.clone();
+        later.counters.insert("a".into(), 5);
+        later.counters.insert("b".into(), 1);
+        assert!(later.is_monotonic_since(&earlier));
+        assert!(!earlier.is_monotonic_since(&later));
+    }
+
+    #[test]
+    fn global_registry_is_one_per_process() {
+        global().counter("test.global_registry_probe").add(7);
+        assert!(global().snapshot().counter("test.global_registry_probe") >= 7);
+    }
+}

@@ -5,15 +5,17 @@
 //! polygamy-store build <path> [--quick] [--years N] [--scale S] [--no-fields]
 //! polygamy-store inspect <path> [--verify]
 //! polygamy-store query <path> <left> <right> [--permutations N]
-//!                [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]
+//!                [--min-score X] [--include-insignificant] [--json] [--trace]
+//!                [--lazy [--mmap]]
 //! polygamy-store query <path> --batch <left:right>... [--permutations N]
-//!                [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]
-//! polygamy-store query <path> --pql "<query>" [--json] [--lazy [--mmap]]
-//! polygamy-store query <path> --file <queries.pql> [--json] [--lazy [--mmap]]
+//!                [--min-score X] [--include-insignificant] [--json] [--trace]
+//!                [--lazy [--mmap]]
+//! polygamy-store query <path> --pql "<query>" [--json] [--trace] [--lazy [--mmap]]
+//! polygamy-store query <path> --file <queries.pql> [--json] [--trace] [--lazy [--mmap]]
 //! polygamy-store repl <path> [--lazy [--mmap]]
 //! polygamy-store serve <path> [--addr HOST:PORT] [--max-inflight N]
 //!                [--read-timeout-ms N] [--max-frame-bytes N] [--no-coalesce]
-//!                [--lazy [--mmap]]
+//!                [--metrics-jsonl <path>] [--lazy [--mmap]]
 //! ```
 //!
 //! `--no-fields` drops the raw scalar fields from the index (features and
@@ -48,19 +50,30 @@
 //! parsed PQL queries interactively from one long-lived session: parse
 //! errors print caret diagnostics and leave the session running.
 //!
+//! `--trace` (and the PQL `explain` prefix in the REPL) installs a trace
+//! collector around execution and prints the per-stage span timings and
+//! counters (`docs/observability.md`); the trace goes to stderr (or a
+//! separate `trace:` line in the REPL), so the query output itself stays
+//! byte-identical to an untraced run.
+//!
 //! `serve` runs the long-lived network daemon from `polygamy_serve`: PQL
 //! in, canonical JSON out, concurrent requests coalesced into one flat
 //! `query_many` dispatch. The wire protocol, limits and shutdown
 //! semantics are specified in `docs/serving.md`; the daemon exits after a
 //! client sends the shutdown frame (e.g. `loadgen --shutdown`).
+//! `--metrics-jsonl <path>` appends a registry-snapshot JSON line per
+//! second (and a final one at drain) for unattended runs; clients can
+//! also poll the `M` metrics frame at any time.
 
+use polygamy_core::pql::parse_query_maybe_explain;
 use polygamy_core::prelude::*;
 use polygamy_core::DataPolygamy;
 use polygamy_datagen::{urban_collection, UrbanConfig};
+use polygamy_obs::{names, trace};
 use polygamy_serve::{ServeOptions, Server};
 use polygamy_store::{
-    execute_pql_batch, execute_pql_query, LazyIndex, LoadFilter, PqlOutcome, PqlServeError,
-    SourceBackend, Store, StoreSession,
+    execute_pql_batch, execute_pql_batch_traced, execute_pql_query, execute_pql_query_traced,
+    LazyIndex, LoadFilter, PqlOutcome, PqlServeError, SourceBackend, Store, StoreSession,
 };
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
@@ -81,15 +94,16 @@ fn main() -> ExitCode {
                  \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields]\n\
                  \x20 inspect <path> [--verify]\n\
                  \x20 query <path> <left> <right> [--permutations N] \
-                 [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]\n\
+                 [--min-score X] [--include-insignificant] [--json] [--trace] [--lazy [--mmap]]\n\
                  \x20 query <path> --batch <left:right>... [--permutations N] \
-                 [--min-score X] [--include-insignificant] [--json] [--lazy [--mmap]]\n\
+                 [--min-score X] [--include-insignificant] [--json] [--trace] [--lazy [--mmap]]\n\
                  \x20 query <path> --pql \"between taxi and * where score >= 0.6\" \
-                 [--json] [--lazy [--mmap]]\n\
-                 \x20 query <path> --file <queries.pql> [--json] [--lazy [--mmap]]\n\
+                 [--json] [--trace] [--lazy [--mmap]]\n\
+                 \x20 query <path> --file <queries.pql> [--json] [--trace] [--lazy [--mmap]]\n\
                  \x20 repl <path> [--lazy [--mmap]]\n\
                  \x20 serve <path> [--addr HOST:PORT] [--max-inflight N] \
-                 [--read-timeout-ms N] [--max-frame-bytes N] [--no-coalesce] [--lazy [--mmap]]"
+                 [--read-timeout-ms N] [--max-frame-bytes N] [--no-coalesce] \
+                 [--metrics-jsonl <path>] [--lazy [--mmap]]"
             );
             return ExitCode::FAILURE;
         }
@@ -219,6 +233,19 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
             lazy.store().source().bytes_fetched()
         );
     }
+    // This process's registry view: how many bytes inspection itself
+    // fetched, and any cache/fault traffic a --verify pass generated.
+    let snap = polygamy_obs::global().snapshot();
+    println!(
+        "registry: {} byte(s) fetched, {} segment fault(s), {} segment cache hit(s), \
+         {} eviction(s), {} checksum verification(s) ({} failed)",
+        snap.counter(names::STORE_BYTES_FETCHED),
+        snap.counter(names::STORE_SEGMENT_FAULTS),
+        snap.counter(names::STORE_SEGMENT_CACHE_HITS),
+        snap.counter(names::STORE_SEGMENT_EVICTIONS),
+        snap.counter(names::STORE_CHECKSUM_VERIFICATIONS),
+        snap.counter(names::STORE_CHECKSUM_FAILURES),
+    );
     Ok(())
 }
 
@@ -310,12 +337,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         })
         .collect();
     // One query_many call: the whole batch shares a single worker pool.
-    let results = session.query_many(&queries).map_err(|e| e.to_string())?;
+    // With --trace a collector wraps the call; results are byte-identical
+    // either way, and the trace goes to stderr so stdout stays canonical.
+    let results = if args.iter().any(|a| a == "--trace") {
+        let (results, t) = trace::record(|| session.query_many(&queries));
+        eprintln!("trace: {}", t.to_json());
+        results.map_err(|e| e.to_string())?
+    } else {
+        session.query_many(&queries).map_err(|e| e.to_string())?
+    };
     if args.iter().any(|a| a == "--json") {
         for (query, relationships) in queries.into_iter().zip(results) {
             let outcome = PqlOutcome {
                 query,
                 relationships,
+                trace: None,
             };
             println!("{}", outcome.to_json());
         }
@@ -360,15 +396,27 @@ fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
     }
 
     let session = open_session(path, args)?;
+    let traced = args.iter().any(|a| a == "--trace");
     let outcomes = match (text, file) {
-        (Some(src), None) => execute_pql_query(&session, &src)
-            .map(|o| vec![o])
-            .map_err(|e| render_pql_error(e, &src))?,
+        (Some(src), None) => {
+            let run = if traced {
+                execute_pql_query_traced
+            } else {
+                execute_pql_query
+            };
+            run(&session, &src)
+                .map(|o| vec![o])
+                .map_err(|e| render_pql_error(e, &src))?
+        }
         (None, Some(p)) => {
             let src =
                 std::fs::read_to_string(&p).map_err(|e| format!("query: cannot read {p}: {e}"))?;
-            let outcomes =
-                execute_pql_batch(&session, &src).map_err(|e| render_pql_error(e, &src))?;
+            let run = if traced {
+                execute_pql_batch_traced
+            } else {
+                execute_pql_batch
+            };
+            let outcomes = run(&session, &src).map_err(|e| render_pql_error(e, &src))?;
             if outcomes.is_empty() {
                 return Err("query: the batch file contains no queries".into());
             }
@@ -387,6 +435,11 @@ fn cmd_query_pql(path: &str, args: &[String]) -> Result<(), String> {
         } else {
             println!("{}", outcome.render_text());
         }
+    }
+    // A traced batch shares one whole-batch trace; print it once, on
+    // stderr, so stdout stays byte-identical to the untraced run.
+    if let Some(t) = outcomes.first().and_then(|o| o.trace.as_ref()) {
+        eprintln!("trace: {}", t.to_json());
     }
     Ok(())
 }
@@ -437,6 +490,8 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
                     "PQL: between <collection> and <collection> [where <predicates>]\n\
                      \x20 e.g. between taxi, weather and * where score >= 0.6 and \
                      class = salient\n\
+                     \x20 prefix with `explain` to append a trace report \
+                     (results are unchanged)\n\
                      \x20 see docs/pql.md for the full grammar\n\
                      commands: :datasets  list served data sets\n\
                      \x20         :help      this text\n\
@@ -455,11 +510,33 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
 }
 
 /// Parses and serves one REPL line through the shared helper; failures
-/// print and return.
+/// print and return. A leading `explain` runs the query with a trace
+/// collector installed and appends the trace report — the results
+/// themselves are byte-identical to the plain run.
 fn repl_eval(session: &StoreSession, src: &str) {
-    match execute_pql_query(session, src) {
-        Ok(outcome) => println!("{}", outcome.render_text()),
-        Err(PqlServeError::Parse(e)) => eprintln!("{}", e.render(src)),
+    let (query, explain) = match parse_query_maybe_explain(src) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{}", e.render(src));
+            return;
+        }
+    };
+    // Re-execute from the canonical rendering: `parse(print(q)) == q`,
+    // and the explain prefix never reaches the execution path.
+    let canonical = polygamy_core::pql::to_pql(&query);
+    let result = if explain {
+        execute_pql_query_traced(session, &canonical)
+    } else {
+        execute_pql_query(session, &canonical)
+    };
+    match result {
+        Ok(outcome) => {
+            println!("{}", outcome.render_text());
+            if let Some(t) = &outcome.trace {
+                println!("trace: {}", t.to_json());
+            }
+        }
+        Err(PqlServeError::Parse(e)) => eprintln!("{}", e.render(&canonical)),
         Err(PqlServeError::Execute(e)) => eprintln!("polygamy-store: {e}"),
     }
 }
@@ -493,6 +570,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--no-coalesce") {
         opts.coalesce = false;
+    }
+    if let Some(v) = flag_value(args, "--metrics-jsonl") {
+        opts.metrics_jsonl = Some(std::path::PathBuf::from(v));
     }
     let session = Arc::new(open_session(path, args)?);
     let server = Server::bind(addr.as_str(), Arc::clone(&session), opts.clone())

@@ -7,6 +7,7 @@ use crate::protocol::{
     read_frame, write_frame, FrameError, FrameTag, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::server::{Hello, WireError};
+use polygamy_obs::MetricsSnapshot;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -147,6 +148,25 @@ impl Client {
     pub fn request(&mut self, pql: &str) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, FrameTag::Query, pql.as_bytes())?;
         self.read_response()
+    }
+
+    /// Sends the `M` frame and parses the server's metrics snapshot — the
+    /// client side of `docs/serving.md` §10. Counter values only ever
+    /// grow, so two snapshots from the same server satisfy
+    /// [`MetricsSnapshot::is_monotonic_since`]. Against a pre-`M` server
+    /// this surfaces the recoverable `bad-frame` error as
+    /// [`ClientError::Protocol`]; the connection stays usable.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        write_frame(&mut self.stream, FrameTag::Metrics, b"")?;
+        match self.read_response()? {
+            Response::Results(text) => MetricsSnapshot::parse_json(&text).map_err(|e| {
+                ClientError::Protocol(format!("metrics payload is not a valid snapshot: {e}"))
+            }),
+            Response::Error(e) => Err(ClientError::Protocol(format!(
+                "metrics request refused: {} ({})",
+                e.error, e.message
+            ))),
+        }
     }
 
     /// Sends the `S` frame and waits for the drain acknowledgement; the

@@ -30,10 +30,38 @@
 
 use polygamy_core::query::RelationshipQuery;
 use polygamy_core::relationship::Relationship;
+use polygamy_obs::{names, Counter, Gauge, Histogram, BATCH_SIZE_BUCKETS};
 use polygamy_store::{StoreError, StoreSession};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Registry handles mirroring the coalescer's counters into the
+/// process-wide snapshot (the `M` frame view of this module), resolved
+/// once per process.
+struct QueueMetrics {
+    requests: Arc<Counter>,
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+}
+
+fn queue_metrics() -> &'static QueueMetrics {
+    static M: OnceLock<QueueMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = polygamy_obs::global();
+        QueueMetrics {
+            requests: r.counter(names::SERVE_REQUESTS),
+            queries: r.counter(names::SERVE_QUERIES),
+            batches: r.counter(names::SERVE_BATCHES),
+            batch_size: r.histogram(names::SERVE_BATCH_SIZE, BATCH_SIZE_BUCKETS),
+            queue_depth: r.gauge(names::SERVE_QUEUE_DEPTH),
+            inflight: r.gauge(names::SERVE_INFLIGHT),
+        }
+    })
+}
 
 /// The per-request result: one relationship vector per query in the
 /// request, or the store error that failed the request.
@@ -172,6 +200,11 @@ impl Coalescer {
         self.counters
             .queries
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let metrics = queue_metrics();
+        metrics.requests.inc();
+        metrics.queries.add(queries.len() as u64);
+        metrics.inflight.add(queries.len() as i64);
+        metrics.queue_depth.add(1);
         let (tx, rx) = channel();
         state.queue.push(Pending { queries, tx });
         drop(state);
@@ -193,6 +226,7 @@ impl Coalescer {
                 }
                 std::mem::take(&mut state.queue)
             };
+            queue_metrics().queue_depth.add(-(batch.len() as i64));
             self.evaluate(batch);
         }
     }
@@ -203,6 +237,7 @@ impl Coalescer {
     pub fn dispatch_pending(&self) -> usize {
         let batch = std::mem::take(&mut self.state.lock().expect("coalescer poisoned").queue);
         let n = batch.len();
+        queue_metrics().queue_depth.add(-(n as i64));
         self.evaluate(batch);
         n
     }
@@ -235,11 +270,16 @@ impl Coalescer {
         self.counters
             .queries
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let metrics = queue_metrics();
+        metrics.requests.inc();
+        metrics.queries.add(queries.len() as u64);
+        metrics.inflight.add(queries.len() as i64);
         self.note_dispatch(queries.len());
         let result = self.session.query_many(queries);
         let mut state = self.state.lock().expect("coalescer poisoned");
         state.inflight = state.inflight.saturating_sub(queries.len());
         drop(state);
+        metrics.inflight.add(-(queries.len() as i64));
         self.space.notify_all();
         Ok(result)
     }
@@ -297,19 +337,26 @@ impl Coalescer {
                 let _ = batch[0].tx.send(Err(e));
             }
         }
+        let answered: usize = batch.iter().map(|p| p.queries.len()).sum();
         let mut state = self.state.lock().expect("coalescer poisoned");
-        state.inflight = state
-            .inflight
-            .saturating_sub(batch.iter().map(|p| p.queries.len()).sum());
+        state.inflight = state.inflight.saturating_sub(answered);
         drop(state);
+        queue_metrics().inflight.add(-(answered as i64));
         self.space.notify_all();
     }
 
+    /// The single point every dispatch passes through — the registry's
+    /// batch-size histogram observes exactly one sample per `query_many`
+    /// call, so its total count equals `serve.batches` and its sum equals
+    /// the queries dispatched (re-dispatches included).
     fn note_dispatch(&self, queries: usize) {
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters
             .max_batch
             .fetch_max(queries as u64, Ordering::Relaxed);
+        let metrics = queue_metrics();
+        metrics.batches.inc();
+        metrics.batch_size.record(queries as u64);
     }
 }
 

@@ -62,6 +62,13 @@ pub enum FrameTag {
     /// `S` — client → server: begin graceful shutdown (drain in-flight
     /// work, refuse new requests, exit).
     Shutdown = b'S',
+    /// `M` — client → server: request a metrics snapshot. Answered with
+    /// an `R` frame carrying the process-wide registry snapshot as
+    /// canonical JSON (`docs/serving.md` §10). The payload is ignored
+    /// (send empty). Added without a version bump: pre-`M` servers answer
+    /// it with a recoverable `bad-frame` error per the §7 unknown-tag
+    /// rule, so newer clients degrade cleanly.
+    Metrics = b'M',
 }
 
 impl FrameTag {
@@ -75,6 +82,7 @@ impl FrameTag {
             b'R' => Some(FrameTag::Result),
             b'E' => Some(FrameTag::Error),
             b'S' => Some(FrameTag::Shutdown),
+            b'M' => Some(FrameTag::Metrics),
             _ => None,
         }
     }
@@ -236,6 +244,7 @@ mod tests {
             FrameTag::Result,
             FrameTag::Error,
             FrameTag::Shutdown,
+            FrameTag::Metrics,
         ] {
             let mut wire = Vec::new();
             write_frame(&mut wire, tag, b"payload").unwrap();

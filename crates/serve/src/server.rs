@@ -11,14 +11,40 @@ use crate::coalesce::{CoalesceStats, Coalescer, Rejection};
 use crate::protocol::{
     write_frame, Frame, FrameError, FrameTag, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+use polygamy_obs::{names, Counter, Gauge};
 use polygamy_store::{PqlOutcome, StoreSession};
 use serde::{Deserialize, Serialize};
-use std::io::{self, Read};
+use std::io::{self, Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Registry handles for the connection/drain counters, resolved once per
+/// process.
+struct ConnMetrics {
+    opened: Arc<Counter>,
+    closed: Arc<Counter>,
+    active: Arc<Gauge>,
+    metrics_frames: Arc<Counter>,
+    drain_ns: Arc<Counter>,
+}
+
+fn conn_metrics() -> &'static ConnMetrics {
+    static M: OnceLock<ConnMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = polygamy_obs::global();
+        ConnMetrics {
+            opened: r.counter(names::SERVE_CONNECTIONS_OPENED),
+            closed: r.counter(names::SERVE_CONNECTIONS_CLOSED),
+            active: r.gauge(names::SERVE_CONNECTIONS_ACTIVE),
+            metrics_frames: r.counter(names::SERVE_METRICS_FRAMES),
+            drain_ns: r.counter(names::SERVE_DRAIN_NS),
+        }
+    })
+}
 
 /// The server's JSON handshake, sent as the `H` frame payload on every
 /// accepted connection (`docs/serving.md` §7).
@@ -81,6 +107,11 @@ pub struct ServeOptions {
     /// default) or inline per request (the serial-dispatch baseline the
     /// benchmarks compare against). CLI: `--no-coalesce`.
     pub coalesce: bool,
+    /// When set, a background thread appends the registry snapshot to
+    /// this file as one JSON line per second (plus a final line at
+    /// drain), so an unattended daemon leaves a metrics record without
+    /// any client polling the `M` frame. CLI: `--metrics-jsonl`.
+    pub metrics_jsonl: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -90,6 +121,7 @@ impl Default for ServeOptions {
             read_timeout: Duration::from_secs(30),
             max_frame_bytes: MAX_FRAME_BYTES,
             coalesce: true,
+            metrics_jsonl: None,
         }
     }
 }
@@ -101,6 +133,9 @@ struct Shared {
     draining: AtomicBool,
     conns: Mutex<Vec<JoinHandle<()>>>,
     hello: Vec<u8>,
+    /// When the first drain trigger fired — the start of the interval
+    /// `serve.drain_ns` measures.
+    drain_started: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -111,6 +146,10 @@ impl Shared {
     /// Flips the server into drain mode: stop accepting, refuse new
     /// requests, let admitted work finish. Idempotent.
     fn begin_drain(&self) {
+        self.drain_started
+            .lock()
+            .expect("drain stamp poisoned")
+            .get_or_insert_with(Instant::now);
         self.draining.store(true, Ordering::SeqCst);
         self.coalescer.close();
     }
@@ -134,6 +173,8 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
+    flusher_stop: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -163,6 +204,15 @@ impl Server {
             hello: serde_json::to_string(&hello)
                 .expect("hello serializes")
                 .into_bytes(),
+            drain_started: Mutex::new(None),
+        });
+        let flusher_stop = Arc::new(AtomicBool::new(false));
+        let flusher = shared.opts.metrics_jsonl.clone().map(|path| {
+            let stop = Arc::clone(&flusher_stop);
+            std::thread::Builder::new()
+                .name("polygamy-serve-metrics".into())
+                .spawn(move || metrics_flusher(&path, &stop))
+                .expect("spawn metrics flusher")
         });
         let dispatcher = shared.opts.coalesce.then(|| {
             let shared = Arc::clone(&shared);
@@ -183,6 +233,8 @@ impl Server {
             addr: local,
             accept: Some(accept),
             dispatcher,
+            flusher,
+            flusher_stop,
         })
     }
 
@@ -219,7 +271,51 @@ impl Server {
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
+        // Everything admitted has been answered: the drain is over.
+        if let Some(started) = *self
+            .shared
+            .drain_started
+            .lock()
+            .expect("drain stamp poisoned")
+        {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            conn_metrics().drain_ns.add(nanos);
+        }
+        // Stop the flusher last so its final line records post-drain state.
+        self.flusher_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
         self.shared.coalescer.stats()
+    }
+}
+
+/// Body of the `--metrics-jsonl` thread: appends one registry-snapshot
+/// JSON line roughly every second, and a final line once `stop` is set
+/// (after the drain completes, so the last line is the daemon's closing
+/// state).
+fn metrics_flusher(path: &PathBuf, stop: &AtomicBool) {
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+        let line = polygamy_obs::global().snapshot().to_json();
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+        if stopping {
+            return;
+        }
+        for _ in 0..20 {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
     }
 }
 
@@ -323,12 +419,34 @@ fn next_frame(stream: &mut TcpStream, shared: &Shared) -> NextFrame {
 }
 
 fn send_error(stream: &mut TcpStream, err: &WireError) -> io::Result<()> {
+    // Every error frame bumps its per-kind counter; the kind set is the
+    // closed wire vocabulary of docs/serving.md §6, so this creates at
+    // most six counters.
+    polygamy_obs::global()
+        .counter(&format!("{}{}", names::SERVE_ERRORS_PREFIX, err.error))
+        .inc();
     let payload = serde_json::to_string(err).expect("wire errors serialize");
     write_frame(stream, FrameTag::Error, payload.as_bytes())
 }
 
+/// Decrements the live-connection gauge and counts the close on every
+/// exit path out of [`serve_connection`].
+struct ConnGuard;
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let metrics = conn_metrics();
+        metrics.closed.inc();
+        metrics.active.add(-1);
+    }
+}
+
 /// The per-connection protocol state machine (`docs/serving.md` §4).
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let metrics = conn_metrics();
+    metrics.opened.inc();
+    metrics.active.add(1);
+    let _guard = ConnGuard;
     // The poll tick bounds how stale the drain flag and deadline checks
     // can get; it must sit well under the read timeout.
     let tick =
@@ -355,6 +473,16 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         match frame.known_tag() {
             Some(FrameTag::Query) => {
                 if !handle_query(&mut stream, shared, &frame.payload) {
+                    return;
+                }
+            }
+            Some(FrameTag::Metrics) => {
+                // A point-in-time registry snapshot, canonical JSON
+                // (docs/serving.md §10). Served even while draining —
+                // observing a drain is exactly when you want metrics.
+                conn_metrics().metrics_frames.inc();
+                let body = polygamy_obs::global().snapshot().to_json();
+                if write_frame(&mut stream, FrameTag::Result, body.as_bytes()).is_err() {
                     return;
                 }
             }
@@ -465,6 +593,7 @@ fn handle_query(stream: &mut TcpStream, shared: &Shared, payload: &[u8]) -> bool
                     PqlOutcome {
                         query,
                         relationships,
+                        trace: None,
                     }
                     .to_json()
                 })

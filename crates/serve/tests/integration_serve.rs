@@ -331,6 +331,51 @@ fn shutdown_frame_drains_and_refuses_new_requests() {
 }
 
 #[test]
+fn metrics_frame_returns_monotonic_snapshots_that_track_queries() {
+    let path = build_store();
+    let server = start_server(&path, ServeOptions::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The registry is process-global and other tests in this binary run in
+    // parallel, so everything below asserts *deltas* observed through this
+    // one connection, never absolute values.
+    let before = client.metrics().unwrap();
+    let batch = "between taxi and weather\nbetween noise and *";
+    match client.request(batch).unwrap() {
+        Response::Results(json) => assert_eq!(json.lines().count(), 2),
+        Response::Error(e) => panic!("unexpected error frame: {e:?}"),
+    }
+    let after = client.metrics().unwrap();
+
+    // Counters only ever grow (docs/serving.md §10).
+    assert!(after.is_monotonic_since(&before));
+    // Our own traffic is visible in the deltas: one request carrying two
+    // queries, and at least the second of our two M frames.
+    assert!(after.counter("serve.requests") > before.counter("serve.requests"));
+    assert!(after.counter("serve.queries") >= before.counter("serve.queries") + 2);
+    assert!(after.counter("serve.metrics_frames") > before.counter("serve.metrics_frames"));
+    // The batch-size histogram exists and reconciles with the counters:
+    // one observation per dispatch, its sum the queries those dispatches
+    // carried (checked as deltas — parallel tests snapshot mid-dispatch).
+    let sizes = after
+        .histogram("serve.batch_size")
+        .expect("batch size histogram present");
+    let sizes_before = before
+        .histogram("serve.batch_size")
+        .map(|h| (h.count(), h.sum))
+        .unwrap_or((0, 0));
+    assert!(sizes.count() > sizes_before.0, "our dispatch recorded");
+    assert!(sizes.sum >= sizes_before.1 + 2, "our two queries recorded");
+    assert!(sizes.sum >= sizes.count(), "every batch has >= 1 query");
+    // Executor counters flow into the same snapshot.
+    assert!(after.counter("core.queries") >= before.counter("core.queries") + 2);
+
+    client.shutdown_server().unwrap();
+    server.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn serial_dispatch_mode_serves_the_same_bytes() {
     let path = build_store();
     let opts = ServeOptions {
@@ -413,7 +458,7 @@ mod frame_codec_props {
         #[test]
         fn frames_roundtrip(
             payload in proptest::collection::vec(0u8..u8::MAX, 0..512),
-            tag_pick in 0usize..5,
+            tag_pick in 0usize..6,
             extra in proptest::collection::vec(0u8..u8::MAX, 0..64),
         ) {
             let tag = [
@@ -422,6 +467,7 @@ mod frame_codec_props {
                 FrameTag::Result,
                 FrameTag::Error,
                 FrameTag::Shutdown,
+                FrameTag::Metrics,
             ][tag_pick];
             let mut wire = Vec::new();
             write_frame(&mut wire, tag, &payload).unwrap();

@@ -39,8 +39,33 @@ use crate::store::{LoadFilter, Store};
 use polygamy_core::index::{DatasetEntry, FunctionEntry};
 use polygamy_core::query::RelationshipQuery;
 use polygamy_core::{query_datasets, ShardedLruCache};
+use polygamy_obs::{names, trace, Counter};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Registry handles for the lazy-serving counters, resolved once per
+/// process (handles are shared by every [`LazyIndex`]).
+struct LazyMetrics {
+    faults: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    evictions: Arc<Counter>,
+    verifications: Arc<Counter>,
+    verify_failures: Arc<Counter>,
+}
+
+fn lazy_metrics() -> &'static LazyMetrics {
+    static M: OnceLock<LazyMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = polygamy_obs::global();
+        LazyMetrics {
+            faults: r.counter(names::STORE_SEGMENT_FAULTS),
+            cache_hits: r.counter(names::STORE_SEGMENT_CACHE_HITS),
+            evictions: r.counter(names::STORE_SEGMENT_EVICTIONS),
+            verifications: r.counter(names::STORE_CHECKSUM_VERIFICATIONS),
+            verify_failures: r.counter(names::STORE_CHECKSUM_FAILURES),
+        }
+    })
+}
 
 /// Default bound on decoded segments held in memory. Entries are a few KB
 /// to a few hundred KB each; 1024 keeps typical working sets fully
@@ -150,9 +175,14 @@ impl LazyIndex {
     /// Faults in one segment by directory position: cache hit, or read +
     /// (first time only) verify + decode + insert.
     pub fn entry(&self, seg_index: usize) -> Result<Arc<FunctionEntry>> {
+        let metrics = lazy_metrics();
         if let Some(hit) = self.cache.get(&seg_index) {
+            metrics.cache_hits.inc();
+            trace::add("segment_cache_hits", 1);
             return Ok(hit);
         }
+        metrics.faults.inc();
+        trace::add("segment_faults", 1);
         let manifest = self.store.manifest();
         let info = &manifest.segments[seg_index];
         let what = format!(
@@ -167,16 +197,20 @@ impl LazyIndex {
         }
         let bytes = self.store.source().fetch(info.loc, &what, false)?;
         if self.verified[seg_index].load(Ordering::Acquire) == UNVERIFIED {
+            metrics.verifications.inc();
             match SegmentSource::verify(&bytes, info.loc, &what) {
                 Ok(()) => self.verified[seg_index].store(VERIFIED_OK, Ordering::Release),
                 Err(e) => {
+                    metrics.verify_failures.inc();
                     self.verified[seg_index].store(VERIFIED_BAD, Ordering::Release);
                     return Err(e);
                 }
             }
         }
         let entry = Arc::new(decode_function_segment(&bytes, info.dataset_index, &what)?);
-        self.cache.insert(seg_index, Arc::clone(&entry));
+        if self.cache.insert(seg_index, Arc::clone(&entry)) {
+            metrics.evictions.inc();
+        }
         Ok(entry)
     }
 

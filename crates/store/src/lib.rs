@@ -88,7 +88,10 @@ pub mod store;
 pub use error::{Result, StoreError};
 pub use format::{BlobLoc, Header, Manifest, SegmentInfo, VERSION};
 pub use lazy::LazyIndex;
-pub use pql_exec::{execute_pql_batch, execute_pql_query, PqlOutcome, PqlServeError};
+pub use pql_exec::{
+    execute_pql_batch, execute_pql_batch_traced, execute_pql_query, execute_pql_query_traced,
+    PqlOutcome, PqlServeError,
+};
 pub use session::StoreSession;
 pub use source::{SegmentSource, SourceBackend};
 pub use store::{LoadFilter, Store};

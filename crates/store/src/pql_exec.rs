@@ -52,6 +52,7 @@ use crate::session::StoreSession;
 use polygamy_core::pql::{parse_batch, parse_query, to_pql, PqlError};
 use polygamy_core::query::RelationshipQuery;
 use polygamy_core::relationship::Relationship;
+use polygamy_obs::trace::{self, Trace};
 use std::fmt;
 
 /// Why a piece of PQL text could not be served.
@@ -93,6 +94,13 @@ pub struct PqlOutcome {
     /// The relationships the query matched, in the executor's
     /// deterministic order.
     pub relationships: Vec<Relationship>,
+    /// The execution trace, when the frontend requested one (`--trace`,
+    /// PQL `explain`). **Never** part of [`PqlOutcome::to_json`] or
+    /// [`PqlOutcome::render_text`]: the normative result renderings are
+    /// byte-identical with tracing on and off. Batch execution runs all
+    /// queries through one dispatch, so every outcome of a traced batch
+    /// carries the same whole-batch trace.
+    pub trace: Option<Trace>,
 }
 
 impl PqlOutcome {
@@ -139,6 +147,28 @@ pub fn execute_pql_query(session: &StoreSession, src: &str) -> Result<PqlOutcome
     Ok(outcomes.pop().expect("one query in, one outcome out"))
 }
 
+/// [`execute_pql_query`] with a trace collector installed: the returned
+/// outcome carries a [`Trace`] covering parse and execution. The
+/// relationships — and their canonical renderings — are byte-identical to
+/// the untraced call's.
+pub fn execute_pql_query_traced(
+    session: &StoreSession,
+    src: &str,
+) -> Result<PqlOutcome, PqlServeError> {
+    let (result, trace) = trace::record(|| {
+        let query = {
+            let _span = trace::span("parse");
+            parse_query(src).map_err(PqlServeError::Parse)?
+        };
+        let mut outcomes = run(session, vec![query])?;
+        Ok(outcomes.pop().expect("one query in, one outcome out"))
+    });
+    result.map(|outcome: PqlOutcome| PqlOutcome {
+        trace: Some(trace),
+        ..outcome
+    })
+}
+
 /// Parses `src` as a PQL batch (one query per line, `#` comments) and
 /// executes every query through one [`StoreSession::query_many`] dispatch
 /// — the `--file`, `--pql` and network-request path. An empty batch is a
@@ -149,6 +179,31 @@ pub fn execute_pql_batch(
 ) -> Result<Vec<PqlOutcome>, PqlServeError> {
     let queries = parse_batch(src).map_err(PqlServeError::Parse)?;
     run(session, queries)
+}
+
+/// [`execute_pql_batch`] with a trace collector installed. The batch runs
+/// through one dispatch, so one [`Trace`] covers it end to end; every
+/// returned outcome carries a clone of that whole-batch trace.
+pub fn execute_pql_batch_traced(
+    session: &StoreSession,
+    src: &str,
+) -> Result<Vec<PqlOutcome>, PqlServeError> {
+    let (result, trace) = trace::record(|| {
+        let queries = {
+            let _span = trace::span("parse");
+            parse_batch(src).map_err(PqlServeError::Parse)?
+        };
+        run(session, queries)
+    });
+    result.map(|outcomes| {
+        outcomes
+            .into_iter()
+            .map(|outcome| PqlOutcome {
+                trace: Some(trace.clone()),
+                ..outcome
+            })
+            .collect()
+    })
 }
 
 /// The shared execution tail: one `query_many` over the whole batch.
@@ -165,6 +220,7 @@ fn run(
         .map(|(query, relationships)| PqlOutcome {
             query,
             relationships,
+            trace: None,
         })
         .collect())
 }
@@ -202,6 +258,7 @@ mod tests {
                 p_value: 0.002,
                 significant: true,
             }],
+            trace: None,
         }
     }
 
@@ -240,10 +297,20 @@ mod tests {
     }
 
     #[test]
+    fn trace_is_invisible_to_renderings() {
+        let mut traced = outcome();
+        traced.trace = Some(Trace::default());
+        assert_eq!(traced.to_json(), outcome().to_json());
+        assert_eq!(traced.render_text(), outcome().render_text());
+        assert_ne!(traced, outcome(), "the trace itself still compares");
+    }
+
+    #[test]
     fn empty_results_render() {
         let empty = PqlOutcome {
             query: RelationshipQuery::of("taxi"),
             relationships: Vec::new(),
+            trace: None,
         };
         assert_eq!(
             empty.to_json(),

@@ -39,8 +39,10 @@ use std::path::Path;
 /// How a session materializes function segments.
 #[derive(Debug)]
 enum Backing {
-    /// Every admitted segment decoded at open.
-    Eager(PolygamyIndex),
+    /// Every admitted segment decoded at open. The `u64` is the source's
+    /// byte counter captured right after the one-shot load — the total
+    /// I/O an eager session will ever do.
+    Eager(PolygamyIndex, u64),
     /// Segments faulted in per query footprint.
     Lazy(LazyIndex),
 }
@@ -153,10 +155,14 @@ impl StoreSession {
     pub fn from_store(store: &Store, config: Config, filter: &LoadFilter) -> Result<Self> {
         let index = store.load_filtered(filter)?;
         let loaded = loaded_names(&index.datasets, filter);
+        let geometry = store.load_geometry()?;
+        // Captured after the one-shot load: an eager session never reads
+        // again, so this is its total (and final) I/O.
+        let bytes_loaded = store.source().bytes_fetched();
         Ok(Self {
-            geometry: store.load_geometry()?,
+            geometry,
             config,
-            backing: Backing::Eager(index),
+            backing: Backing::Eager(index, bytes_loaded),
             loaded,
             cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
         })
@@ -173,7 +179,7 @@ impl StoreSession {
     pub fn query(&self, query: &RelationshipQuery) -> Result<Vec<Relationship>> {
         let query = self.scope_to_loaded(query)?;
         match &self.backing {
-            Backing::Eager(index) => {
+            Backing::Eager(index, _) => {
                 run_query(index, &self.geometry, &self.config, &self.cache, &query)
                     .map_err(Into::into)
             }
@@ -201,7 +207,7 @@ impl StoreSession {
             .map(|q| self.scope_to_loaded(q))
             .collect::<Result<Vec<_>>>()?;
         match &self.backing {
-            Backing::Eager(index) => {
+            Backing::Eager(index, _) => {
                 run_query_many(index, &self.geometry, &self.config, &self.cache, &scoped)
                     .map_err(Into::into)
             }
@@ -248,15 +254,26 @@ impl StoreSession {
     /// [`StoreSession::catalog`] for the always-resident data set catalog).
     pub fn index(&self) -> Option<&PolygamyIndex> {
         match &self.backing {
-            Backing::Eager(index) => Some(index),
+            Backing::Eager(index, _) => Some(index),
             Backing::Lazy(_) => None,
+        }
+    }
+
+    /// Total `.plst` bytes this session has read, uniformly across modes:
+    /// an eager session reports its one-shot load (a constant from open
+    /// onwards), a lazy session reports the live source counter, which
+    /// grows as queries fault segments in.
+    pub fn bytes_fetched(&self) -> u64 {
+        match &self.backing {
+            Backing::Eager(_, bytes_loaded) => *bytes_loaded,
+            Backing::Lazy(lazy) => lazy.store().source().bytes_fetched(),
         }
     }
 
     /// The data set catalog (resident in both modes).
     pub fn catalog(&self) -> &[DatasetEntry] {
         match &self.backing {
-            Backing::Eager(index) => &index.datasets,
+            Backing::Eager(index, _) => &index.datasets,
             Backing::Lazy(lazy) => lazy.catalog(),
         }
     }
@@ -264,7 +281,7 @@ impl StoreSession {
     /// The demand-paged index — `Some` for lazy sessions only.
     pub fn lazy_index(&self) -> Option<&LazyIndex> {
         match &self.backing {
-            Backing::Eager(_) => None,
+            Backing::Eager(..) => None,
             Backing::Lazy(lazy) => Some(lazy),
         }
     }

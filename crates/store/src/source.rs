@@ -37,11 +37,21 @@
 use crate::error::{Result, StoreError};
 use crate::format::BlobLoc;
 use polygamy_core::Fnv1a;
+use polygamy_obs::{names, Counter};
 use std::borrow::Cow;
 use std::fmt;
 use std::fs::File;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide `store.bytes_fetched` registry counter, resolved once.
+/// Every source in the process adds into it alongside its own per-source
+/// [`SegmentSource::bytes_fetched`] counter.
+fn global_bytes_fetched() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| polygamy_obs::global().counter(names::STORE_BYTES_FETCHED))
+}
 
 /// Which I/O mechanism a [`SegmentSource`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -178,6 +188,7 @@ impl SegmentSource {
             }
         };
         self.bytes_fetched.fetch_add(loc.len, Ordering::Relaxed);
+        global_bytes_fetched().add(loc.len);
         if verify {
             Self::verify(&bytes, loc, what)?;
         }

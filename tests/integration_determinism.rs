@@ -194,6 +194,58 @@ fn store_session_results_identical_across_worker_counts() {
     }
 }
 
+/// The tracing axis of the matrix: running the *same* queries inside a
+/// `trace::record` scope must not change a byte of the result JSON, on
+/// any worker count, eager or lazy, `query` or PQL. Tracing observes the
+/// executor; it must never steer it (`docs/observability.md`).
+#[test]
+fn traced_results_identical_to_untraced() {
+    use polygamy_obs::trace;
+    use polygamy_store::{execute_pql_query, execute_pql_query_traced};
+
+    let path = tmp_path("traced");
+    let _cleanup = Cleanup(path.clone());
+    let datasets = vec![
+        spiky_dataset("alpha", 1.0, 100),
+        spiky_dataset("beta", -2.0, 100),
+        spiky_dataset("gamma", 0.5, 222),
+    ];
+    let dp = build_framework(&datasets, Cluster::local(1));
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+
+    let queries = test_queries();
+    let reference: Vec<String> = queries
+        .iter()
+        .map(|q| json(&dp.query(q).unwrap()))
+        .collect();
+    assert!(reference.iter().any(|j| j != "[]"));
+
+    for cluster in worker_matrix() {
+        for (mode, session) in session_matrix(&path, cluster) {
+            for (q, expect) in queries.iter().zip(&reference) {
+                let (rels, t) = trace::record(|| session.query(q).unwrap());
+                assert_eq!(&json(&rels), expect, "traced {mode} query @ {cluster:?}");
+                // The trace itself must have observed the run.
+                assert!(
+                    t.span_nanos("evaluate") > 0,
+                    "traced {mode} run recorded no evaluate span @ {cluster:?}"
+                );
+            }
+        }
+    }
+
+    // The PQL layer: the traced executor entry point returns the same
+    // canonical JSON as the untraced one, trace attached out-of-band.
+    let session =
+        StoreSession::open_with(&path, config_with(Cluster::local(2)), &LoadFilter::all()).unwrap();
+    let pql = "between alpha and beta where permutations = 40 and include insignificant";
+    let plain = execute_pql_query(&session, pql).unwrap();
+    let traced = execute_pql_query_traced(&session, pql).unwrap();
+    assert!(traced.trace.is_some(), "traced outcome carries its trace");
+    assert_eq!(traced.to_json(), plain.to_json(), "trace changed the bytes");
+    assert_eq!(traced.render_text(), plain.render_text());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
