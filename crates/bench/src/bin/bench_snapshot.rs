@@ -52,6 +52,24 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The registry metric each `ObsMetrics` snapshot field is derived
+/// from, by **literal** name. `--validate` diffs this mapping against
+/// the catalogue (`polygamy_obs::names::ALL`), so renaming or retiring
+/// a metric breaks snapshot validation here instead of silently
+/// orphaning the committed `BENCH_*.json` obs sections.
+fn obs_metric_sources() -> [(&'static str, &'static str); 8] {
+    [
+        ("query_cache_hits", "core.query_cache.hits"),
+        ("query_cache_misses", "core.query_cache.misses"),
+        ("segment_faults", "store.segment.faults"),
+        ("segment_cache_hits", "store.segment.cache_hits"),
+        ("checksum_verifications", "store.checksum.verifications"),
+        ("checksum_failures", "store.checksum.failures"),
+        ("batch_dispatches", "serve.batch_size"),
+        ("batch_queries", "serve.batch_size"),
+    ]
+}
+
 fn validate(path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("validate: cannot read {path}: {e}"))?;
@@ -63,6 +81,15 @@ fn validate(path: &str) -> Result<(), String> {
             "validate: {path} violates snapshot invariants:\n  - {}",
             problems.join("\n  - ")
         ));
+    }
+    for (field, metric) in obs_metric_sources() {
+        if !names::is_canonical(metric) {
+            return Err(format!(
+                "validate: obs field `{field}` is derived from `{metric}`, which is not \
+                 in the polygamy_obs::names catalogue — the metric was renamed or \
+                 retired without updating the snapshot schema"
+            ));
+        }
     }
     println!(
         "{path}: valid snapshot (schema v{}, {}, {} data sets, {} segments)",
@@ -393,4 +420,26 @@ fn run(args: &[String]) -> Result<(), String> {
     let _ = std::fs::remove_file(&store_path);
     println!("wrote {out_path}");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_sources_are_in_the_catalogue() {
+        for (field, metric) in obs_metric_sources() {
+            assert!(
+                names::is_canonical(metric),
+                "obs field `{field}` derives from `{metric}`, absent from names::ALL"
+            );
+        }
+    }
+
+    #[test]
+    fn catalogue_rejects_unknown_and_prefix_only_names() {
+        assert!(!names::is_canonical("store.segment_faults")); // pre-rename spelling
+        assert!(!names::is_canonical("serve.errors.")); // bare prefix
+        assert!(names::is_canonical("serve.errors.parse"));
+    }
 }

@@ -16,11 +16,7 @@ pub fn run(_quick: bool) -> String {
     let mut out = String::from("# Figures 2 + 4 — join tree of the 1-D example\n\n");
     let mut t = Table::new(&["maximum", "f", "paired destroyer", "persistence"]);
     let mut pairs = join.pairs.clone();
-    pairs.sort_by(|a, b| {
-        b.persistence()
-            .partial_cmp(&a.persistence())
-            .expect("finite")
-    });
+    pairs.sort_by(|a, b| b.persistence().total_cmp(&a.persistence()));
     for p in &pairs {
         t.row(&[
             names[p.extremum as usize].to_string(),

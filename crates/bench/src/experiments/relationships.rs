@@ -104,9 +104,9 @@ fn best_match<'a>(rels: &'a [Relationship], f: &Finding) -> Option<&'a Relations
         })
         .max_by(|a, b| {
             // Prefer significant, then largest |τ| with meaningful ρ.
-            (a.significant, a.score().abs() + a.strength())
-                .partial_cmp(&(b.significant, b.score().abs() + b.strength()))
-                .expect("finite")
+            a.significant
+                .cmp(&b.significant)
+                .then((a.score().abs() + a.strength()).total_cmp(&(b.score().abs() + b.strength())))
         })
 }
 

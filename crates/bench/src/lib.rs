@@ -10,6 +10,8 @@
 //! scaling, constant relationship-evaluation rate, speedup curves, pruning
 //! ratios, robustness plateaus and baseline blind spots.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod serving;
 pub mod snapshot;

@@ -40,7 +40,9 @@ mod parser;
 mod printer;
 
 pub use error::{PqlError, PqlErrorKind, Span};
-pub use parser::{parse_query, parse_query_maybe_explain, parse_resolution, RESERVED_WORDS};
+pub use parser::{
+    parse_query, parse_query_maybe_explain, parse_resolution, KEYWORDS, RESERVED_WORDS,
+};
 pub use printer::{resolution_name, to_pql};
 
 use crate::query::RelationshipQuery;

@@ -37,6 +37,37 @@ use polygamy_topology::FeatureClass;
 /// Words that cannot appear bare in data-set position.
 pub const RESERVED_WORDS: [&str; 4] = ["between", "and", "where", "in"];
 
+/// Every keyword the grammar knows, reserved or contextual — the
+/// parser's complete keyword inventory, in grammar order.
+///
+/// This is the **normative** list `docs/pql.md`'s EBNF is checked
+/// against: the project linter (`polygamy-lint`, rule
+/// `pql-keyword-drift`) diffs the grammar's quoted terminals against
+/// this array in both directions, and a unit test below pins each entry
+/// to a literal match arm in this file. Adding a keyword therefore
+/// means touching the match arm, this inventory, and the spec together.
+pub const KEYWORDS: [&str; 19] = [
+    "between",
+    "and",
+    "where",
+    "in",
+    "score",
+    "strength",
+    "class",
+    "salient",
+    "extreme",
+    "alpha",
+    "permutations",
+    "resolution",
+    "thresholds",
+    "scheme",
+    "paper",
+    "spatiotemporal",
+    "significant",
+    "include",
+    "insignificant",
+];
+
 /// Parses one complete PQL query; trailing tokens are an error.
 ///
 /// `#` comments and newlines are treated as whitespace, so a single query
@@ -476,6 +507,29 @@ mod tests {
     #[test]
     fn wildcard_both_sides_is_the_default_query() {
         assert_eq!(q("between * and *"), RelationshipQuery::all());
+    }
+
+    #[test]
+    fn keyword_inventory_is_fresh() {
+        // Every inventory entry must occur as a string literal somewhere
+        // else in this file — the match arm or reserved-word list that
+        // actually consumes it — so KEYWORDS cannot rot silently. (The
+        // project linter re-checks this and diffs the inventory against
+        // the docs/pql.md grammar.)
+        let src = include_str!("parser.rs");
+        for kw in KEYWORDS {
+            let needle = format!("\"{kw}\"");
+            assert!(
+                src.matches(needle.as_str()).count() >= 2,
+                "keyword `{kw}` appears only in the KEYWORDS inventory"
+            );
+        }
+        for word in RESERVED_WORDS {
+            assert!(
+                KEYWORDS.contains(&word),
+                "reserved word `{word}` missing from KEYWORDS"
+            );
+        }
     }
 
     #[test]

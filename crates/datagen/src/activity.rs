@@ -447,11 +447,7 @@ pub fn traffic_dataset(
     let mut rng = SmallRng::seed_from_u64(seed);
     // Cover the most popular neighborhoods (sensor-equipped streets).
     let mut order: Vec<usize> = (0..city.n_neighborhoods()).collect();
-    order.sort_by(|&a, &b| {
-        city.popularity[b]
-            .partial_cmp(&city.popularity[a])
-            .expect("finite weights")
-    });
+    order.sort_by(|&a, &b| city.popularity[b].total_cmp(&city.popularity[a]));
     let n_covered = ((order.len() as f64) * (0.25 + 0.25 * scale.min(1.0)))
         .ceil()
         .max(3.0) as usize;

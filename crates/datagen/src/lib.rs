@@ -23,6 +23,8 @@
 //! qualitatively: recall of planted relationships and pruning of spurious
 //! ones.
 
+#![forbid(unsafe_code)]
+
 pub mod activity;
 pub mod city;
 pub mod events;

@@ -1,0 +1,142 @@
+//! The `polygamy-lint` command-line front end.
+//!
+//! ```text
+//! polygamy-lint [--check] [--json] [--root <dir>]   lint the workspace
+//! polygamy-lint --list-rules                        print the rule catalogue
+//! polygamy-lint --explain <rule>                    print one rule's rationale
+//! ```
+//!
+//! Exit status: `0` clean, `1` findings, `2` usage or I/O error — so CI
+//! can tell "the code is wrong" from "the linter is broken".
+
+#![forbid(unsafe_code)]
+
+use polygamy_lint::{lint, rules, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+polygamy-lint — determinism, unsafe-hygiene and spec-drift invariants
+
+USAGE:
+    polygamy-lint [--check] [--json] [--root <dir>]
+    polygamy-lint --list-rules
+    polygamy-lint --explain <rule>
+
+OPTIONS:
+    --check          lint and exit non-zero on findings (the default mode)
+    --json           emit findings as JSON lines instead of caret diagnostics
+    --root <dir>     workspace root to lint (default: current directory)
+    --list-rules     print every rule with its one-line summary
+    --explain <rule> print the long-form rationale for one rule
+    --help           print this help
+
+Suppress a finding in place with a reasoned comment on the offending
+line or the line above it:
+
+    // lint: allow(<rule>, reason = \"why this occurrence is sound\")
+
+Reasonless or misspelled allows are findings themselves (invalid-allow),
+and allows that no longer suppress anything are too (unused-allow).
+See docs/linting.md for the full catalogue.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list-rules" => {
+                return list_rules();
+            }
+            "--explain" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("error: --explain needs a rule name\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                return explain(name);
+            }
+            "--check" => {}
+            "--json" => json = true,
+            "--root" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("error: --root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    check(&root, json)
+}
+
+fn list_rules() -> ExitCode {
+    println!("rules (suppress with `// lint: allow(<rule>, reason = \"…\")`):\n");
+    let all = rules::all();
+    let width = all.iter().map(|r| r.name().len()).max().unwrap_or(0);
+    for rule in &all {
+        println!("  {:width$}  {}", rule.name(), rule.summary());
+    }
+    println!(
+        "\nmeta (emitted by the suppression checker itself):\n\n  \
+         {:width$}  allow comment with an unknown rule or missing reason\n  \
+         {:width$}  allow comment that suppresses nothing",
+        "invalid-allow", "unused-allow",
+    );
+    ExitCode::SUCCESS
+}
+
+fn explain(name: &str) -> ExitCode {
+    match rules::all().into_iter().find(|r| r.name() == name) {
+        Some(rule) => {
+            println!("{}: {}\n\n{}", rule.name(), rule.summary(), rule.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: no rule named `{name}` (run `polygamy-lint --list-rules`)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(root: &std::path::Path, json: bool) -> ExitCode {
+    let ws = match Workspace::load(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: cannot read workspace at `{}`: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = lint(&ws);
+    if json {
+        for f in &findings {
+            println!("{}", f.to_json());
+        }
+    } else {
+        for f in &findings {
+            println!("{}\n", f.render(ws.source_at(&f.path)));
+        }
+        eprintln!(
+            "polygamy-lint: {} file(s), {} doc(s), {} finding(s)",
+            ws.sources.len(),
+            ws.docs.len(),
+            findings.len()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,549 @@
+//! Rule family 3: spec/code drift.
+//!
+//! Three documents in `docs/` are *normative*: the serving spec's frame
+//! tag table, the observability spec's metric catalogue, and the PQL
+//! spec's grammar. Each has a single source-of-truth counterpart in
+//! code (`FrameTag`, `polygamy_obs::names`, the parser's `KEYWORDS`
+//! inventory). These rules diff the two **in both directions** — an
+//! entry in the doc with no counterpart in code is as much a finding as
+//! the reverse — so neither side can quietly move on without the other.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::scan::{Scanned, SourceFile, Token, TokenKind};
+use crate::Workspace;
+use std::collections::BTreeMap;
+
+/// The serving spec's frame-tag table, diffed against `FrameTag`.
+const PROTOCOL_RS: &str = "crates/serve/src/protocol.rs";
+/// The spec side of [`WireTagDriftRule`].
+const SERVING_MD: &str = "docs/serving.md";
+/// The code side of [`MetricDriftRule`].
+const OBS_LIB_RS: &str = "crates/obs/src/lib.rs";
+/// The spec side of [`MetricDriftRule`].
+const OBSERVABILITY_MD: &str = "docs/observability.md";
+/// The code side of [`PqlKeywordDriftRule`].
+const PARSER_RS: &str = "crates/core/src/pql/parser.rs";
+/// The spec side of [`PqlKeywordDriftRule`].
+const PQL_MD: &str = "docs/pql.md";
+
+/// A string literal's value: the token text without its quotes.
+fn str_value<'a>(src: &'a Scanned, t: &Token) -> &'a str {
+    src.text(t).trim_start_matches('b').trim_matches('"')
+}
+
+/// (1-based line, col) of a byte offset in a plain (un-scanned) doc.
+fn doc_line_col(doc: &SourceFile, offset: usize) -> (usize, usize) {
+    let before = &doc.text[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = offset - before.rfind('\n').map_or(0, |i| i + 1) + 1;
+    (line, col)
+}
+
+fn doc_finding(
+    doc: &SourceFile,
+    offset: usize,
+    width: usize,
+    rule: &'static str,
+    message: String,
+    help: &str,
+) -> Finding {
+    let (line, col) = doc_line_col(doc, offset);
+    Finding {
+        rule,
+        path: doc.path.clone(),
+        line,
+        col,
+        width,
+        message,
+        help: help.into(),
+    }
+}
+
+fn code_finding(
+    src: &Scanned,
+    offset: usize,
+    width: usize,
+    rule: &'static str,
+    message: String,
+    help: &str,
+) -> Finding {
+    let (line, col) = src.line_col(offset);
+    Finding {
+        rule,
+        path: src.file.path.clone(),
+        line,
+        col,
+        width,
+        message,
+        help: help.into(),
+    }
+}
+
+/// Splits a markdown table row into trimmed cells (empty edges dropped).
+fn table_cells(line: &str) -> Option<Vec<&str>> {
+    let line = line.trim();
+    if !line.starts_with('|') {
+        return None;
+    }
+    Some(
+        line.trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The content of the first `` `backticked` `` span in a cell.
+fn backticked(cell: &str) -> Option<&str> {
+    let rest = cell.strip_prefix('`')?;
+    let end = rest.find('`')?;
+    Some(&rest[..end])
+}
+
+/// §3 of `docs/serving.md` vs the `FrameTag` enum: every tag letter and
+/// byte value must agree, in both directions.
+pub struct WireTagDriftRule;
+
+impl WireTagDriftRule {
+    /// Parses `Variant = b'X'` discriminants out of `enum FrameTag { … }`.
+    fn code_tags(src: &Scanned) -> Vec<(String, u8, usize)> {
+        let mut tags = Vec::new();
+        let toks = &src.tokens;
+        let Some(start) = (0..toks.len())
+            .find(|&i| src.ident(i) == Some("enum") && src.ident(i + 1) == Some("FrameTag"))
+        else {
+            return tags;
+        };
+        let Some(open) = (start..toks.len()).find(|&i| src.is_punct(i, '{')) else {
+            return tags;
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < toks.len() {
+            if src.is_punct(i, '{') {
+                depth += 1;
+            } else if src.is_punct(i, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 {
+                if let Some(variant) = src.ident(i) {
+                    if src.is_punct(i + 1, '=')
+                        && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Char)
+                    {
+                        let lit = src.text(&toks[i + 2]);
+                        // `b'H'` — the tag byte is the third byte.
+                        if let Some(&byte) = lit.as_bytes().get(2) {
+                            if lit.starts_with("b'") {
+                                tags.push((variant.to_string(), byte, toks[i].start));
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        tags
+    }
+
+    /// Parses `| \`H\` hello | 0x48 | … |` rows out of the spec.
+    fn doc_tags(doc: &SourceFile) -> Vec<(u8, u8, usize)> {
+        let mut tags = Vec::new();
+        let mut offset = 0usize;
+        for line in doc.text.split_inclusive('\n') {
+            let cells = table_cells(line);
+            if let Some(cells) = cells {
+                if cells.len() >= 2 {
+                    let tag = backticked(cells[0])
+                        .filter(|t| t.len() == 1)
+                        .map(|t| t.as_bytes()[0]);
+                    let byte = cells[1]
+                        .strip_prefix("0x")
+                        .and_then(|h| u8::from_str_radix(h, 16).ok());
+                    if let (Some(tag), Some(byte)) = (tag, byte) {
+                        tags.push((tag, byte, offset));
+                    }
+                }
+            }
+            offset += line.len();
+        }
+        tags
+    }
+}
+
+impl Rule for WireTagDriftRule {
+    fn name(&self) -> &'static str {
+        "wire-tag-drift"
+    }
+    fn summary(&self) -> &'static str {
+        "docs/serving.md §3 tag table must match the FrameTag enum exactly"
+    }
+    fn explain(&self) -> &'static str {
+        "docs/serving.md is the normative wire spec: independent clients are written \
+against its §3 tag table, not against protocol.rs. The rule parses the \
+`Variant = b'X'` discriminants out of `enum FrameTag` and the `| `X` name | \
+0xNN |` rows out of the spec and requires the two sets — letters and byte \
+values both — to be identical. A tag added in code but not the spec breaks \
+every third-party client silently; a tag documented but unimplemented breaks \
+them loudly. Both directions are findings."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(src) = ws.source_at(PROTOCOL_RS) else {
+            return;
+        };
+        let code = Self::code_tags(src);
+        if code.is_empty() {
+            return;
+        }
+        let Some(doc) = ws.doc_at(SERVING_MD) else {
+            out.push(code_finding(
+                src,
+                0,
+                1,
+                self.name(),
+                format!("`FrameTag` has no spec: `{SERVING_MD}` is missing"),
+                "restore the serving spec with its §3 frame tag table",
+            ));
+            return;
+        };
+        let doc_tags = Self::doc_tags(doc);
+        for (variant, byte, offset) in &code {
+            if !doc_tags.iter().any(|(t, _, _)| t == byte) {
+                out.push(code_finding(
+                    src,
+                    *offset,
+                    variant.len(),
+                    self.name(),
+                    format!(
+                        "frame tag `{}` (`{}`) is not in the {SERVING_MD} §3 tag table",
+                        *byte as char, variant
+                    ),
+                    "add the tag row to the spec's §3 table",
+                ));
+            }
+        }
+        for (tag, byte, offset) in &doc_tags {
+            match code.iter().find(|(_, b, _)| b == tag) {
+                None => out.push(doc_finding(
+                    doc,
+                    *offset,
+                    1,
+                    self.name(),
+                    format!(
+                        "spec documents frame tag `{}` but `FrameTag` does not define it",
+                        *tag as char
+                    ),
+                    "implement the tag in protocol.rs or drop the row",
+                )),
+                Some(_) if byte != tag => out.push(doc_finding(
+                    doc,
+                    *offset,
+                    1,
+                    self.name(),
+                    format!(
+                        "spec says tag `{}` is 0x{byte:02X} but its discriminant is 0x{:02X}",
+                        *tag as char, tag
+                    ),
+                    "the byte column must equal the tag letter's ASCII value",
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// `docs/observability.md` metric catalogue vs `polygamy_obs::names`.
+pub struct MetricDriftRule;
+
+impl MetricDriftRule {
+    /// Collects `pub const NAME: &str = "…";` entries inside `mod names`.
+    fn code_names(src: &Scanned) -> BTreeMap<String, usize> {
+        let mut names = BTreeMap::new();
+        let toks = &src.tokens;
+        let Some(start) = (0..toks.len())
+            .find(|&i| src.ident(i) == Some("mod") && src.ident(i + 1) == Some("names"))
+        else {
+            return names;
+        };
+        let Some(open) = (start..toks.len()).find(|&i| src.is_punct(i, '{')) else {
+            return names;
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < toks.len() {
+            if src.is_punct(i, '{') {
+                depth += 1;
+            } else if src.is_punct(i, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if src.ident(i) == Some("const")
+                && src.ident(i + 1).is_some()
+                && src.is_punct(i + 2, ':')
+                && src.is_punct(i + 3, '&')
+                && src.ident(i + 4) == Some("str")
+                && src.is_punct(i + 5, '=')
+                && toks.get(i + 6).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                names.insert(str_value(src, &toks[i + 6]).to_string(), toks[i + 6].start);
+            }
+            i += 1;
+        }
+        names
+    }
+
+    /// Collects `| \`name\` | counter/gauge/histogram | … |` rows. A
+    /// `<placeholder>` suffix (e.g. `serve.errors.<kind>`) is truncated
+    /// to its prefix, matching the `…_PREFIX` constants in code.
+    fn doc_names(doc: &SourceFile) -> BTreeMap<String, usize> {
+        let mut names = BTreeMap::new();
+        let mut offset = 0usize;
+        for line in doc.text.split_inclusive('\n') {
+            if let Some(cells) = table_cells(line) {
+                if cells.len() >= 3 && matches!(cells[1], "counter" | "gauge" | "histogram") {
+                    if let Some(name) = backticked(cells[0]) {
+                        let name = match name.find('<') {
+                            Some(i) => &name[..i],
+                            None => name,
+                        };
+                        names.entry(name.to_string()).or_insert(offset);
+                    }
+                }
+            }
+            offset += line.len();
+        }
+        names
+    }
+}
+
+impl Rule for MetricDriftRule {
+    fn name(&self) -> &'static str {
+        "metric-drift"
+    }
+    fn summary(&self) -> &'static str {
+        "docs/observability.md catalogue must match polygamy_obs::names exactly"
+    }
+    fn explain(&self) -> &'static str {
+        "docs/observability.md promises that its catalogue lists every metric the \
+binaries emit — dashboards and the bench snapshot schema are built on that \
+promise. The rule reads the `pub const … : &str = \"…\"` entries in \
+polygamy_obs's `names` module and the `| `name` | counter/gauge/histogram |` \
+rows in the doc and requires the name sets to be identical. The \
+`serve.errors.<kind>` family row matches its `serve.errors.` prefix constant. \
+A metric registered in code but missing from the doc is an undocumented \
+emission; a documented metric nothing registers is a dead dashboard panel."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(src) = ws.source_at(OBS_LIB_RS) else {
+            return;
+        };
+        let code = Self::code_names(src);
+        if code.is_empty() {
+            return;
+        }
+        let Some(doc) = ws.doc_at(OBSERVABILITY_MD) else {
+            out.push(code_finding(
+                src,
+                0,
+                1,
+                self.name(),
+                format!("metric names have no spec: `{OBSERVABILITY_MD}` is missing"),
+                "restore the observability spec with its metric catalogue",
+            ));
+            return;
+        };
+        let doc_names = Self::doc_names(doc);
+        for (name, offset) in &code {
+            if !doc_names.contains_key(name) {
+                out.push(code_finding(
+                    src,
+                    *offset,
+                    name.len() + 2,
+                    self.name(),
+                    format!("metric `{name}` is not in the {OBSERVABILITY_MD} catalogue"),
+                    "add a catalogue row (name, type, meaning) for it",
+                ));
+            }
+        }
+        for (name, offset) in &doc_names {
+            if !code.contains_key(name) {
+                out.push(doc_finding(
+                    doc,
+                    *offset,
+                    name.len() + 2,
+                    self.name(),
+                    format!(
+                        "catalogue documents `{name}` but polygamy_obs::names does not define it"
+                    ),
+                    "register the metric name in code or drop the row",
+                ));
+            }
+        }
+    }
+}
+
+/// `docs/pql.md` grammar keywords vs the parser's `KEYWORDS` inventory.
+pub struct PqlKeywordDriftRule;
+
+/// The parsed `KEYWORDS` inventory: each (word, byte offset) entry, plus
+/// the token range the initialiser occupies.
+type KeywordInventory = (Vec<(String, usize)>, (usize, usize));
+
+impl PqlKeywordDriftRule {
+    /// Extracts the `KEYWORDS` const's string entries, plus the token
+    /// range they occupy (so the freshness check can look *outside* it).
+    fn code_keywords(src: &Scanned) -> Option<KeywordInventory> {
+        let toks = &src.tokens;
+        let start = (0..toks.len())
+            .find(|&i| src.ident(i) == Some("KEYWORDS") && src.is_punct(i + 1, ':'))?;
+        let open = (start..toks.len()).find(|&i| src.is_punct(i, '['))?;
+        // The type also brackets (`[&str; N]`): the initialiser is the
+        // bracket group after the `=`.
+        let eq = (open..toks.len()).find(|&i| src.is_punct(i, '='))?;
+        let init = (eq..toks.len()).find(|&i| src.is_punct(i, '['))?;
+        let mut words = Vec::new();
+        let mut i = init + 1;
+        while i < toks.len() && !src.is_punct(i, ']') {
+            if toks[i].kind == TokenKind::Str {
+                words.push((str_value(src, &toks[i]).to_string(), toks[i].start));
+            }
+            i += 1;
+        }
+        Some((words, (init, i)))
+    }
+
+    /// Extracts word-like quoted terminals from the doc's ` ```ebnf `
+    /// fence, with EBNF `(* … *)` comments stripped first.
+    fn doc_keywords(doc: &SourceFile) -> BTreeMap<String, usize> {
+        let mut words = BTreeMap::new();
+        let Some(fence_at) = doc.text.find("```ebnf") else {
+            return words;
+        };
+        let body_start = fence_at + "```ebnf".len();
+        let body_end = doc.text[body_start..]
+            .find("```")
+            .map_or(doc.text.len(), |i| body_start + i);
+        let bytes = doc.text.as_bytes();
+        let mut i = body_start;
+        while i < body_end {
+            // EBNF comment: `(* … *)`.
+            if bytes[i] == b'(' && bytes.get(i + 1) == Some(&b'*') {
+                i += 2;
+                while i + 1 < body_end && !(bytes[i] == b'*' && bytes[i + 1] == b')') {
+                    i += 1;
+                }
+                i = (i + 2).min(body_end);
+                continue;
+            }
+            if bytes[i] == b'"' {
+                let start = i + 1;
+                let mut j = start;
+                while j < body_end && bytes[j] != b'"' {
+                    j += 1;
+                }
+                let word = &doc.text[start..j];
+                let wordlike = !word.is_empty()
+                    && word.as_bytes()[0].is_ascii_lowercase()
+                    && word.bytes().all(|b| b.is_ascii_lowercase() || b == b'-');
+                if wordlike {
+                    words.entry(word.to_string()).or_insert(start);
+                }
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+        words
+    }
+}
+
+impl Rule for PqlKeywordDriftRule {
+    fn name(&self) -> &'static str {
+        "pql-keyword-drift"
+    }
+    fn summary(&self) -> &'static str {
+        "docs/pql.md grammar keywords must match the parser's KEYWORDS inventory"
+    }
+    fn explain(&self) -> &'static str {
+        "docs/pql.md's EBNF is the language's normative grammar. The parser declares \
+its complete keyword inventory as `pub const KEYWORDS` (parser.rs); this rule \
+requires the set of word-like quoted terminals in the grammar fence and that \
+inventory to be identical, and additionally checks each inventory entry appears \
+as a string literal elsewhere in the parser — so KEYWORDS itself cannot go \
+stale against the match arms that actually consume the keywords. Adding a \
+keyword means touching all three (match arm, inventory, grammar) or the build \
+goes red."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(src) = ws.source_at(PARSER_RS) else {
+            return;
+        };
+        let Some((code, (init, end))) = Self::code_keywords(src) else {
+            out.push(code_finding(
+                src,
+                0,
+                1,
+                self.name(),
+                "the PQL parser declares no `KEYWORDS` inventory".into(),
+                "declare `pub const KEYWORDS: [&str; N]` listing every keyword",
+            ));
+            return;
+        };
+        // Freshness: every inventory entry must appear as a literal in
+        // the parser outside the inventory itself.
+        for (word, offset) in &code {
+            let used = src.tokens.iter().enumerate().any(|(i, t)| {
+                t.kind == TokenKind::Str && !(init..=end).contains(&i) && str_value(src, t) == word
+            });
+            if !used {
+                out.push(code_finding(
+                    src,
+                    *offset,
+                    word.len() + 2,
+                    self.name(),
+                    format!("`KEYWORDS` lists `{word}` but no parser code matches it"),
+                    "remove the stale inventory entry or wire the keyword up",
+                ));
+            }
+        }
+        let Some(doc) = ws.doc_at(PQL_MD) else {
+            out.push(code_finding(
+                src,
+                0,
+                1,
+                self.name(),
+                format!("the PQL grammar has no spec: `{PQL_MD}` is missing"),
+                "restore the PQL spec with its ```ebnf grammar fence",
+            ));
+            return;
+        };
+        let doc_words = Self::doc_keywords(doc);
+        for (word, offset) in &code {
+            if !doc_words.contains_key(word) {
+                out.push(code_finding(
+                    src,
+                    *offset,
+                    word.len() + 2,
+                    self.name(),
+                    format!("keyword `{word}` is not in the {PQL_MD} grammar"),
+                    "add the terminal to the ```ebnf fence",
+                ));
+            }
+        }
+        for (word, offset) in &doc_words {
+            if !code.iter().any(|(w, _)| w == word) {
+                out.push(doc_finding(
+                    doc,
+                    *offset,
+                    word.len(),
+                    self.name(),
+                    format!("grammar uses keyword `{word}` but the parser's KEYWORDS omits it"),
+                    "implement the keyword or fix the grammar",
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Rule: atomic memory orderings must be Relaxed or documented.
+//!
+//! `crates/obs` is the workspace's one designed concurrency substrate —
+//! its module docs state the Relaxed-only contract for every counter
+//! and gauge. Outside it, an atomic with a stronger ordering is either
+//! load-bearing synchronisation (then its contract deserves a sentence)
+//! or cargo-culted `SeqCst` (then it should be Relaxed). Either way,
+//! silence is the one wrong answer.
+
+use super::{is_test_path, path_in, Rule, ORDERING_EXEMPT};
+use crate::diag::Finding;
+use crate::Workspace;
+
+/// The non-Relaxed orderings of `std::sync::atomic::Ordering`. (The
+/// name set is disjoint from `std::cmp::Ordering`'s variants, so a
+/// token match cannot confuse the two.)
+const STRONG_ORDERINGS: &[&str] = &["Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many lines above the use an `// ordering:` comment may end.
+const ORDERING_WINDOW: usize = 3;
+
+/// Flags undocumented non-Relaxed atomic orderings outside `crates/obs`.
+pub struct AtomicOrderingRule;
+
+impl Rule for AtomicOrderingRule {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+    fn summary(&self) -> &'static str {
+        "non-Relaxed atomic orderings outside obs need an `// ordering:` comment"
+    }
+    fn explain(&self) -> &'static str {
+        "The obs crate's metrics are Relaxed by documented contract (statistical \
+counters, no happens-before implied — see crates/obs/src/metrics.rs). Outside \
+obs, any Acquire/Release/AcqRel/SeqCst use must carry an `// ordering:` comment \
+within 3 lines stating what the ordering synchronises (e.g. the store's sticky \
+checksum verdicts publish the verified bytes via Release/Acquire). An \
+undocumented strong ordering is unreviewable: nobody can weaken it safely, and \
+nobody can trust it either."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for src in &ws.sources {
+            let path = &src.file.path;
+            if path_in(path, ORDERING_EXEMPT) || is_test_path(path) {
+                continue;
+            }
+            let toks = &src.tokens;
+            for (i, tok) in toks.iter().enumerate() {
+                if src.in_test_block(i) || src.ident(i) != Some("Ordering") {
+                    continue;
+                }
+                if !(src.is_punct(i + 1, ':') && src.is_punct(i + 2, ':')) {
+                    continue;
+                }
+                let Some(variant) = src.ident(i + 3) else {
+                    continue;
+                };
+                if !STRONG_ORDERINGS.contains(&variant) {
+                    continue;
+                }
+                let (line, col) = src.line_col(tok.start);
+                if src.comment_near(line, ORDERING_WINDOW, "ordering:") {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: self.name(),
+                    path: path.clone(),
+                    line,
+                    col,
+                    width: "Ordering::".len() + variant.len(),
+                    message: format!(
+                        "`Ordering::{variant}` without an `// ordering:` contract comment"
+                    ),
+                    help: "document what this ordering synchronises in an `// ordering:` \
+                           comment above, or relax it to Ordering::Relaxed"
+                        .into(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! A lightweight Rust source scanner — the token stream the rules walk.
+//!
+//! This is deliberately *not* a Rust parser: like the PQL lexer it is a
+//! single hand-rolled pass that understands exactly enough of the
+//! language to be reliable — comments (line, block, nested), string
+//! literals in every flavour (plain, raw, byte, byte-raw), character
+//! literals vs lifetimes, identifiers, numbers and single-byte
+//! punctuation. Everything a rule matches on is an identifier or
+//! punctuation *token*, so occurrences inside strings and comments can
+//! never produce findings (the linter's own source talks about
+//! `DefaultHasher` in string literals and stays clean).
+//!
+//! The scanner also computes a per-token **test mask**: tokens inside a
+//! `#[cfg(test)] mod … { … }` block are marked so determinism rules can
+//! exempt test-only code without a type-aware front end.
+
+/// One file handed to the linter: a repo-relative, `/`-separated path
+/// plus its full text. Paths are virtual — fixtures fake result-path
+/// locations by declaring one.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (e.g. `crates/core/src/lib.rs`).
+    pub path: String,
+    /// The file's text.
+    pub text: String,
+}
+
+/// What kind of token the scanner produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `partial_cmp`, …).
+    Ident,
+    /// A numeric literal.
+    Number,
+    /// A string literal of any flavour, quotes included in the span.
+    Str,
+    /// A character or byte-character literal (`'a'`, `b'H'`).
+    Char,
+    /// A lifetime (`'static`).
+    Lifetime,
+    /// A single punctuation byte (`.`, `:`, `#`, `(`, …).
+    Punct,
+}
+
+/// One token: a kind plus the half-open byte range it covers.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// One comment (line or block), byte range including the delimiters.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the comment's last byte.
+    pub end: usize,
+}
+
+/// A scanned file: the source plus its token/comment streams and line
+/// index, ready for the rules.
+pub struct Scanned {
+    /// The underlying source.
+    pub file: SourceFile,
+    /// All non-comment tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+    line_starts: Vec<usize>,
+    test_mask: Vec<bool>,
+}
+
+impl Scanned {
+    /// Scans `file` into tokens, comments and the line index.
+    pub fn new(file: SourceFile) -> Self {
+        let (tokens, comments) = scan(&file.text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in file.text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_mask = compute_test_mask(&file.text, &tokens);
+        Self {
+            file,
+            tokens,
+            comments,
+            line_starts,
+            test_mask,
+        }
+    }
+
+    /// The source text of a token.
+    pub fn text(&self, t: &Token) -> &str {
+        &self.file.text[t.start..t.end]
+    }
+
+    /// The token's text if it is an identifier, else `None`.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        let t = self.tokens.get(i)?;
+        (t.kind == TokenKind::Ident).then(|| self.text(t))
+    }
+
+    /// True when token `i` is the punctuation byte `p`.
+    pub fn is_punct(&self, i: usize, p: char) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && self.text(t).starts_with(p))
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The text of a 1-based line (without its newline).
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.file.text.len(), |&n| n - 1);
+        self.file.text[start..end].trim_end_matches('\r')
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// True when token `i` sits inside a `#[cfg(test)] mod … { … }` block.
+    pub fn in_test_block(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// True when any comment containing `marker` ends on a line in
+    /// `[line - window, line]` — the "documented nearby" check shared by
+    /// the `// SAFETY:` and `// ordering:` rules.
+    pub fn comment_near(&self, line: usize, window: usize, marker: &str) -> bool {
+        self.comments.iter().any(|c| {
+            let text = &self.file.text[c.start..c.end];
+            if !text.contains(marker) {
+                return false;
+            }
+            let (end_line, _) = self.line_col(c.end.saturating_sub(1));
+            end_line + window >= line && end_line <= line
+        })
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The scanner proper: one pass, no allocation beyond the output vecs.
+fn scan(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+    while i < n {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if b == b'/' && i + 1 < n {
+            match bytes[i + 1] {
+                b'/' => {
+                    let start = i;
+                    while i < n && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    // A run of adjacent `//` lines is one comment block:
+                    // merge when only whitespace and a single newline
+                    // separate this line from the previous comment, so
+                    // `comment_near` measures from the block's end.
+                    match comments.last_mut() {
+                        Some(prev)
+                            if src[prev.end..start]
+                                .bytes()
+                                .all(|b| b.is_ascii_whitespace())
+                                && src[prev.end..start].bytes().filter(|&b| b == b'\n').count()
+                                    <= 1 =>
+                        {
+                            prev.end = i;
+                        }
+                        _ => comments.push(Comment { start, end: i }),
+                    }
+                    continue;
+                }
+                b'*' => {
+                    let start = i;
+                    i += 2;
+                    let mut depth = 1usize;
+                    while i < n && depth > 0 {
+                        if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    comments.push(Comment { start, end: i });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw strings: r"…", r#"…"#, and the b-prefixed flavours.
+        if (b == b'r' || b == b'b') && raw_string_ahead(bytes, i) {
+            let start = i;
+            if bytes[i] == b'b' {
+                i += 1;
+            }
+            i += 1; // past 'r'
+            let mut hashes = 0usize;
+            while i < n && bytes[i] == b'#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // past opening quote
+            'raw: while i < n {
+                if bytes[i] == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while j < n && bytes[j] == b'#' && seen < hashes {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        i = j;
+                        break 'raw;
+                    }
+                }
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Byte strings / byte chars: b"…", b'H'.
+        if b == b'b' && i + 1 < n && (bytes[i + 1] == b'"' || bytes[i + 1] == b'\'') {
+            let start = i;
+            let quote = bytes[i + 1];
+            i += 2;
+            i = skip_quoted(bytes, i, quote);
+            tokens.push(Token {
+                kind: if quote == b'"' {
+                    TokenKind::Str
+                } else {
+                    TokenKind::Char
+                },
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Plain strings.
+        if b == b'"' {
+            let start = i;
+            i += 1;
+            i = skip_quoted(bytes, i, b'"');
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if b == b'\'' {
+            let start = i;
+            if char_literal_ahead(bytes, i) {
+                i += 1;
+                i = skip_quoted(bytes, i, b'\'');
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    start,
+                    end: i,
+                });
+            } else {
+                i += 1;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    start,
+                    end: i,
+                });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(b) {
+            let start = i;
+            while i < n && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Numbers (loose: enough to step over literals like 1e-3 or 0xFF
+        // without splitting them into spurious idents; `0..10` keeps the
+        // range dots out of the number).
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (is_ident_continue(bytes[i])
+                    || (bytes[i] == b'.'
+                        && i + 1 < n
+                        && bytes[i + 1] != b'.'
+                        && bytes[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Anything else: one punctuation byte (or a stray non-ASCII char,
+        // stepped over whole so we never split a UTF-8 sequence).
+        let char_len = src[i..].chars().next().map_or(1, char::len_utf8);
+        if char_len == 1 {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                start: i,
+                end: i + 1,
+            });
+        }
+        i += char_len;
+    }
+    (tokens, comments)
+}
+
+/// True when position `i` starts a raw string (`r"`, `r#…#"`, `br"`, …).
+fn raw_string_ahead(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literals) from `'static` (lifetime).
+fn char_literal_ahead(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) => {
+            if is_ident_start(c) {
+                // `'a'` is a char, `'ab` or `'a ` is a lifetime.
+                bytes.get(i + 2) == Some(&b'\'')
+            } else {
+                c != b'\''
+            }
+        }
+        None => false,
+    }
+}
+
+/// Advances past a quoted literal body (handles `\\` and `\<quote>`).
+fn skip_quoted(bytes: &[u8], mut i: usize, quote: u8) -> usize {
+    let n = bytes.len();
+    while i < n {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b if b == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Marks every token inside a `#[cfg(test)] mod … { … }` block.
+///
+/// The repo's test-only code universally uses that shape; determinism
+/// rules use the mask so a test may, say, read the clock, without the
+/// production path being allowed to.
+fn compute_test_mask(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let text = |t: &Token| &src[t.start..t.end];
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = text(&tokens[i]) == "#"
+            && text(&tokens[i + 1]) == "["
+            && text(&tokens[i + 2]) == "cfg"
+            && text(&tokens[i + 3]) == "("
+            && text(&tokens[i + 4]) == "test"
+            && text(&tokens[i + 5]) == ")"
+            && text(&tokens[i + 6]) == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then require `mod <name> {`.
+        let mut j = i + 7;
+        while j + 1 < tokens.len() && text(&tokens[j]) == "#" && text(&tokens[j + 1]) == "[" {
+            let mut depth = 0usize;
+            j += 1;
+            while j < tokens.len() {
+                match text(&tokens[j]) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if tokens.get(j).map(text) == Some("mod")
+            && tokens
+                .get(j + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens.get(j + 2).map(text) == Some("{")
+        {
+            let open = j + 2;
+            let mut depth = 0usize;
+            let mut k = open;
+            while k < tokens.len() {
+                match text(&tokens[k]) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take((k + 1).min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = k.max(i + 1);
+        } else {
+            i = j.max(i + 1);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanned(text: &str) -> Scanned {
+        Scanned::new(SourceFile {
+            path: "crates/x/src/lib.rs".into(),
+            text: text.into(),
+        })
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let s = scanned("let x = foo.bar();");
+        let idents: Vec<&str> = (0..s.tokens.len()).filter_map(|i| s.ident(i)).collect();
+        assert_eq!(idents, ["let", "x", "foo", "bar"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let s = scanned(r#"let x = "DefaultHasher inside a string";"#);
+        assert!((0..s.tokens.len()).all(|i| s.ident(i) != Some("DefaultHasher")));
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && s.text(t).contains("DefaultHasher")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let s = scanned(r##"let a = r#"raw "quoted" body"#; let b = b"bytes"; let c = b'H';"##);
+        let kinds: Vec<TokenKind> = s.tokens.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::Str));
+        assert!(kinds.contains(&TokenKind::Char));
+        let chars: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| s.text(t))
+            .collect();
+        assert_eq!(chars, ["b'H'"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let s = scanned("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn adjacent_line_comments_merge_into_a_block() {
+        let s = scanned(
+            "// SAFETY: a four-line argument about the mapping\n// continuing here\n// and here\n// and here\nunsafe { }\n",
+        );
+        assert_eq!(s.comments.len(), 1);
+        // The marker is on line 1 but the block ends on line 4, inside
+        // the window for the `unsafe` on line 5.
+        assert!(s.comment_near(5, 3, "SAFETY:"));
+        // Comments separated by code do not merge.
+        let s = scanned("// one\nfn f() {}\n// two\n");
+        assert_eq!(s.comments.len(), 2);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let s = scanned("// SAFETY: fine\nunsafe { }\n/* block\ncomment */ fn f() {}");
+        assert_eq!(s.comments.len(), 2);
+        assert!(s.comment_near(2, 3, "SAFETY:"));
+        assert!(!s.comment_near(2, 3, "ordering:"));
+        let idents: Vec<&str> = (0..s.tokens.len()).filter_map(|i| s.ident(i)).collect();
+        assert!(idents.contains(&"unsafe"));
+        assert!(!idents.contains(&"comment"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scanned("/* outer /* inner */ still-comment */ real");
+        let idents: Vec<&str> = (0..s.tokens.len()).filter_map(|i| s.ident(i)).collect();
+        assert_eq!(idents, ["real"]);
+    }
+
+    #[test]
+    fn line_and_column_are_one_based() {
+        let s = scanned("a\nbb ccc\n");
+        let t = s.tokens[2];
+        assert_eq!(s.text(&t), "ccc");
+        assert_eq!(s.line_col(t.start), (2, 4));
+        assert_eq!(s.line_text(2), "bb ccc");
+        assert_eq!(s.line_count(), 3);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { clock(); }\n}\nfn after() {}";
+        let s = scanned(src);
+        let idx = |name: &str| {
+            (0..s.tokens.len())
+                .find(|&i| s.ident(i) == Some(name))
+                .unwrap()
+        };
+        assert!(!s.in_test_block(idx("prod")));
+        assert!(s.in_test_block(idx("clock")));
+        assert!(!s.in_test_block(idx("after")));
+    }
+}

@@ -1,0 +1,276 @@
+//! `// lint: allow(<rule>, reason = "…")` suppression comments.
+//!
+//! A finding may be silenced only *in place* and only *with a reason*:
+//! the allow comment must sit on the offending line or on the line
+//! directly above it, must name the rule it silences, and must carry a
+//! non-empty `reason = "…"`. Two meta-rules keep the escape hatch
+//! honest:
+//!
+//! * **`invalid-allow`** — an allow with a missing/empty reason or an
+//!   unknown rule name is itself a finding, and it suppresses nothing.
+//! * **`unused-allow`** — an allow that silenced no finding is a
+//!   finding: stale suppressions are drift, exactly like stale specs.
+
+use crate::diag::Finding;
+use crate::scan::Scanned;
+
+/// One parsed allow comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// 1-based line the comment ends on.
+    pub line: usize,
+    /// 1-based column of the comment start.
+    pub col: usize,
+    /// Whether a non-empty `reason = "…"` was given.
+    pub has_reason: bool,
+}
+
+/// Extracts every `lint: allow(…)` comment from a scanned file.
+pub fn collect_allows(src: &Scanned) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &src.comments {
+        let text = &src.file.text[c.start..c.end];
+        // Adjacent `//` lines are scanned as one comment block; allows
+        // may sit on any line of it (and a block may hold several), so
+        // search by substring and anchor line/col at each marker.
+        for (marker, _) in text.match_indices("lint:") {
+            // Doc comments are prose, not suppressions: the allow syntax
+            // quoted inside rustdoc (`///`, `//!`, `/** */`, `/*! */`)
+            // documents itself without invoking anything.
+            let line_start = text[..marker].rfind('\n').map_or(0, |i| i + 1);
+            let prefix = text[line_start..marker].trim_start();
+            if ["///", "//!", "/**", "/*!"]
+                .iter()
+                .any(|d| prefix.starts_with(d))
+            {
+                continue;
+            }
+            let rest = text[marker + "lint:".len()..].trim_start();
+            let Some(args) = rest.strip_prefix("allow(") else {
+                continue;
+            };
+            // Truncate at this allow's own closing paren (the reason
+            // string may itself contain one) so a second allow later in
+            // the same comment block can't bleed into the parse.
+            let mut end = args.len();
+            let mut in_str = false;
+            let mut escaped = false;
+            for (i, ch) in args.char_indices() {
+                match ch {
+                    '"' if !escaped => in_str = !in_str,
+                    ')' if !in_str => {
+                        end = i;
+                        break;
+                    }
+                    _ => {}
+                }
+                escaped = ch == '\\' && !escaped;
+            }
+            let args = &args[..end];
+            let rule: String = args
+                .chars()
+                .take_while(|c| !matches!(c, ',' | ')'))
+                .collect::<String>()
+                .trim()
+                .to_string();
+            let has_reason = args
+                .split_once("reason")
+                .and_then(|(_, after)| after.trim_start().strip_prefix('='))
+                .and_then(|after| {
+                    let after = after.trim_start();
+                    let inner = after.strip_prefix('"')?;
+                    let end = inner.find('"')?;
+                    Some(!inner[..end].trim().is_empty())
+                })
+                .unwrap_or(false);
+            let (line, col) = src.line_col(c.start + marker);
+            allows.push(Allow {
+                rule,
+                line,
+                col,
+                has_reason,
+            });
+        }
+    }
+    allows
+}
+
+/// Applies the allows of one file to its findings.
+///
+/// Returns the surviving findings; appends `invalid-allow` /
+/// `unused-allow` meta-findings. `known_rules` is the registry's name
+/// list (an allow naming anything else is invalid).
+pub fn apply_allows(
+    src: &Scanned,
+    findings: Vec<Finding>,
+    known_rules: &[&'static str],
+    out: &mut Vec<Finding>,
+) {
+    let allows = collect_allows(src);
+    let mut used = vec![false; allows.len()];
+    for f in findings {
+        let suppressed = allows.iter().enumerate().any(|(i, a)| {
+            let valid = a.has_reason && known_rules.contains(&a.rule.as_str());
+            let covers = a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line);
+            if valid && covers {
+                used[i] = true;
+                true
+            } else {
+                false
+            }
+        });
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !known_rules.contains(&a.rule.as_str()) {
+            out.push(Finding {
+                rule: "invalid-allow",
+                path: src.file.path.clone(),
+                line: a.line,
+                col: a.col,
+                width: 1,
+                message: format!("lint allow names unknown rule `{}`", a.rule),
+                help: "run `polygamy-lint --list-rules` for the rule catalogue".into(),
+            });
+        } else if !a.has_reason {
+            out.push(Finding {
+                rule: "invalid-allow",
+                path: src.file.path.clone(),
+                line: a.line,
+                col: a.col,
+                width: 1,
+                message: format!(
+                    "lint allow for `{}` has no reason — suppressions must say why",
+                    a.rule
+                ),
+                help: "write `// lint: allow(rule, reason = \"…\")` with a non-empty reason".into(),
+            });
+        } else if !used[i] {
+            out.push(Finding {
+                rule: "unused-allow",
+                path: src.file.path.clone(),
+                line: a.line,
+                col: a.col,
+                width: 1,
+                message: format!("lint allow for `{}` suppresses nothing", a.rule),
+                help: "delete the stale allow comment".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn scanned(text: &str) -> Scanned {
+        Scanned::new(SourceFile {
+            path: "crates/x/src/lib.rs".into(),
+            text: text.into(),
+        })
+    }
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let s = scanned("// lint: allow(wall-clock, reason = \"progress logging only\")\nfoo();");
+        let allows = collect_allows(&s);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "wall-clock");
+        assert!(allows[0].has_reason);
+        assert_eq!(allows[0].line, 1);
+    }
+
+    #[test]
+    fn empty_reason_is_not_a_reason() {
+        let s = scanned("// lint: allow(wall-clock, reason = \"  \")\n");
+        assert!(!collect_allows(&s)[0].has_reason);
+        let s = scanned("// lint: allow(wall-clock)\n");
+        assert!(!collect_allows(&s)[0].has_reason);
+    }
+
+    fn fake_finding(line: usize) -> Finding {
+        Finding {
+            rule: "wall-clock",
+            path: "crates/x/src/lib.rs".into(),
+            line,
+            col: 1,
+            width: 1,
+            message: "clock".into(),
+            help: "no clocks".into(),
+        }
+    }
+
+    #[test]
+    fn allow_covers_its_line_and_the_next() {
+        let s = scanned(
+            "// lint: allow(wall-clock, reason = \"timing\")\nInstant::now();\n\nother();\n",
+        );
+        let mut out = Vec::new();
+        apply_allows(
+            &s,
+            vec![fake_finding(2), fake_finding(4)],
+            &["wall-clock"],
+            &mut out,
+        );
+        // Line-2 finding suppressed; line-4 survives; allow was used.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn invalid_allow_suppresses_nothing_and_reports() {
+        let s = scanned("// lint: allow(wall-clock)\nInstant::now();\n");
+        let mut out = Vec::new();
+        apply_allows(&s, vec![fake_finding(2)], &["wall-clock"], &mut out);
+        let rules: Vec<&str> = out.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"wall-clock"), "{rules:?}");
+        assert!(rules.contains(&"invalid-allow"), "{rules:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let s = scanned("// lint: allow(wall-clock, reason = \"was needed once\")\nnothing();\n");
+        let mut out = Vec::new();
+        apply_allows(&s, vec![], &["wall-clock"], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_allows() {
+        let s = scanned(
+            "//! Suppress with `// lint: allow(wall-clock, reason = \"…\")`.\n/// Same syntax: `lint: allow(default-hasher, reason = \"x\")`.\nfn f() {}\n",
+        );
+        assert!(collect_allows(&s).is_empty());
+    }
+
+    #[test]
+    fn two_allows_in_one_comment_block_both_parse() {
+        let s = scanned(
+            "// lint: allow(wall-clock)\n// lint: allow(default-hasher, reason = \"seed test\")\nx();\n",
+        );
+        let allows = collect_allows(&s);
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, "wall-clock");
+        assert!(
+            !allows[0].has_reason,
+            "must not borrow the second allow's reason"
+        );
+        assert_eq!(allows[1].rule, "default-hasher");
+        assert!(allows[1].has_reason);
+        assert_eq!(allows[1].line, 2);
+    }
+
+    #[test]
+    fn unknown_rule_is_invalid() {
+        let s = scanned("// lint: allow(no-such-rule, reason = \"x\")\n");
+        let mut out = Vec::new();
+        apply_allows(&s, vec![], &["wall-clock"], &mut out);
+        assert_eq!(out[0].rule, "invalid-allow");
+    }
+}

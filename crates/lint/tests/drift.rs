@@ -1,0 +1,237 @@
+//! Drift-rule tests: miniature code+spec workspaces, aligned and then
+//! deliberately skewed in each direction. Every rule must be quiet on
+//! the aligned pair and must name the exact divergence otherwise —
+//! including when the spec document is missing outright.
+
+use polygamy_lint::scan::SourceFile;
+use polygamy_lint::{lint, Workspace};
+
+fn ws(sources: &[(&str, &str)], docs: &[(&str, &str)]) -> Workspace {
+    let mk = |(p, t): &(&str, &str)| SourceFile {
+        path: (*p).to_string(),
+        text: (*t).to_string(),
+    };
+    Workspace::from_sources(
+        sources.iter().map(mk).collect(),
+        docs.iter().map(mk).collect(),
+    )
+}
+
+/// The (path, message) pairs of one rule's findings.
+fn findings_of(ws: &Workspace, rule: &str) -> Vec<(String, String)> {
+    lint(ws)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.path, f.message))
+        .collect()
+}
+
+// ---------------------------------------------------------------- wire tags
+
+const PROTOCOL_RS: &str = "crates/serve/src/protocol.rs";
+const SERVING_MD: &str = "docs/serving.md";
+
+const PROTOCOL_OK: &str = "\
+pub enum FrameTag {\n    Hello = b'H',\n    Query = b'Q',\n}\n";
+
+const SERVING_OK: &str = "\
+## 3. Frame tags\n\n\
+| tag | byte | meaning |\n\
+| --- | --- | --- |\n\
+| `H` hello | 0x48 | handshake |\n\
+| `Q` query | 0x51 | query batch |\n";
+
+#[test]
+fn wire_tags_aligned_is_clean() {
+    let w = ws(&[(PROTOCOL_RS, PROTOCOL_OK)], &[(SERVING_MD, SERVING_OK)]);
+    assert_eq!(findings_of(&w, "wire-tag-drift"), vec![]);
+}
+
+#[test]
+fn wire_tag_in_code_but_not_spec() {
+    let code =
+        "pub enum FrameTag {\n    Hello = b'H',\n    Query = b'Q',\n    Metrics = b'M',\n}\n";
+    let w = ws(&[(PROTOCOL_RS, code)], &[(SERVING_MD, SERVING_OK)]);
+    let got = findings_of(&w, "wire-tag-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, PROTOCOL_RS);
+    assert!(got[0].1.contains("`M`"), "{}", got[0].1);
+}
+
+#[test]
+fn wire_tag_in_spec_but_not_code() {
+    let doc = format!("{SERVING_OK}| `X` extra | 0x58 | never implemented |\n");
+    let w = ws(&[(PROTOCOL_RS, PROTOCOL_OK)], &[(SERVING_MD, &doc)]);
+    let got = findings_of(&w, "wire-tag-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, SERVING_MD);
+    assert!(got[0].1.contains("does not define"), "{}", got[0].1);
+}
+
+#[test]
+fn wire_tag_byte_mismatch() {
+    let doc = "\
+| tag | byte | meaning |\n\
+| --- | --- | --- |\n\
+| `H` hello | 0x48 | handshake |\n\
+| `Q` query | 0x52 | wrong byte |\n";
+    let w = ws(&[(PROTOCOL_RS, PROTOCOL_OK)], &[(SERVING_MD, doc)]);
+    let got = findings_of(&w, "wire-tag-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, SERVING_MD);
+    assert!(got[0].1.contains("0x52"), "{}", got[0].1);
+}
+
+#[test]
+fn wire_tags_without_spec_document() {
+    let w = ws(&[(PROTOCOL_RS, PROTOCOL_OK)], &[]);
+    let got = findings_of(&w, "wire-tag-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].1.contains("is missing"), "{}", got[0].1);
+}
+
+// ------------------------------------------------------------------ metrics
+
+const OBS_LIB_RS: &str = "crates/obs/src/lib.rs";
+const OBSERVABILITY_MD: &str = "docs/observability.md";
+
+const OBS_OK: &str = "\
+#![forbid(unsafe_code)]\n\
+pub mod names {\n\
+    pub const CORE_QUERIES: &str = \"core.queries\";\n\
+    pub const SERVE_ERRORS_PREFIX: &str = \"serve.errors.\";\n\
+}\n";
+
+const OBS_DOC_OK: &str = "\
+| metric | type | meaning |\n\
+| --- | --- | --- |\n\
+| `core.queries` | counter | queries planned |\n\
+| `serve.errors.<kind>` | counter | per-kind errors |\n";
+
+#[test]
+fn metrics_aligned_is_clean() {
+    // Also covers the `<kind>` placeholder: the family row matches the
+    // trailing-dot prefix constant.
+    let w = ws(&[(OBS_LIB_RS, OBS_OK)], &[(OBSERVABILITY_MD, OBS_DOC_OK)]);
+    assert_eq!(findings_of(&w, "metric-drift"), vec![]);
+}
+
+#[test]
+fn metric_in_code_but_not_catalogue() {
+    let code = "\
+#![forbid(unsafe_code)]\n\
+pub mod names {\n\
+    pub const CORE_QUERIES: &str = \"core.queries\";\n\
+    pub const SERVE_ERRORS_PREFIX: &str = \"serve.errors.\";\n\
+    pub const STORE_BYTES: &str = \"store.bytes\";\n\
+}\n";
+    let w = ws(&[(OBS_LIB_RS, code)], &[(OBSERVABILITY_MD, OBS_DOC_OK)]);
+    let got = findings_of(&w, "metric-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, OBS_LIB_RS);
+    assert!(got[0].1.contains("store.bytes"), "{}", got[0].1);
+}
+
+#[test]
+fn metric_in_catalogue_but_not_code() {
+    let doc = format!("{OBS_DOC_OK}| `serve.ghost` | gauge | dead dashboard panel |\n");
+    let w = ws(&[(OBS_LIB_RS, OBS_OK)], &[(OBSERVABILITY_MD, &doc)]);
+    let got = findings_of(&w, "metric-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, OBSERVABILITY_MD);
+    assert!(got[0].1.contains("serve.ghost"), "{}", got[0].1);
+}
+
+#[test]
+fn metrics_without_spec_document() {
+    let w = ws(&[(OBS_LIB_RS, OBS_OK)], &[]);
+    let got = findings_of(&w, "metric-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].1.contains("is missing"), "{}", got[0].1);
+}
+
+// ------------------------------------------------------------- PQL keywords
+
+const PARSER_RS: &str = "crates/core/src/pql/parser.rs";
+const PQL_MD: &str = "docs/pql.md";
+
+const PARSER_OK: &str = "\
+pub const KEYWORDS: [&str; 2] = [\"select\", \"when\"];\n\n\
+pub fn is_keyword(w: &str) -> bool {\n\
+    matches!(w, \"select\" | \"when\")\n\
+}\n";
+
+const PQL_DOC_OK: &str = "\
+# PQL\n\n\
+```ebnf\n\
+query = \"select\" ident \"when\" predicate ;\n\
+(* \"ancient\" was removed in v2 and must not count as a keyword *)\n\
+```\n";
+
+#[test]
+fn pql_keywords_aligned_is_clean() {
+    // Also covers EBNF comment stripping: the quoted word inside the
+    // `(* … *)` comment is not a terminal.
+    let w = ws(&[(PARSER_RS, PARSER_OK)], &[(PQL_MD, PQL_DOC_OK)]);
+    assert_eq!(findings_of(&w, "pql-keyword-drift"), vec![]);
+}
+
+#[test]
+fn stale_inventory_entry_without_a_match_arm() {
+    let code = "\
+pub const KEYWORDS: [&str; 3] = [\"select\", \"when\", \"legacy\"];\n\n\
+pub fn is_keyword(w: &str) -> bool {\n\
+    matches!(w, \"select\" | \"when\")\n\
+}\n";
+    // The doc lists `legacy` too, so the only divergence is freshness:
+    // the inventory names a keyword no parser code consumes.
+    let doc = "\
+```ebnf\n\
+query = \"select\" ident \"when\" predicate | \"legacy\" ;\n\
+```\n";
+    let w = ws(&[(PARSER_RS, code)], &[(PQL_MD, doc)]);
+    let got = findings_of(&w, "pql-keyword-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, PARSER_RS);
+    assert!(got[0].1.contains("no parser code matches"), "{}", got[0].1);
+}
+
+#[test]
+fn keyword_in_code_but_not_grammar() {
+    let doc = "```ebnf\nquery = \"select\" ident ;\n```\n";
+    let w = ws(&[(PARSER_RS, PARSER_OK)], &[(PQL_MD, doc)]);
+    let got = findings_of(&w, "pql-keyword-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, PARSER_RS);
+    assert!(got[0].1.contains("`when`"), "{}", got[0].1);
+}
+
+#[test]
+fn keyword_in_grammar_but_not_code() {
+    let doc = "\
+```ebnf\n\
+query = \"select\" ident \"when\" predicate \"group\" field ;\n\
+```\n";
+    let w = ws(&[(PARSER_RS, PARSER_OK)], &[(PQL_MD, doc)]);
+    let got = findings_of(&w, "pql-keyword-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].0, PQL_MD);
+    assert!(got[0].1.contains("`group`"), "{}", got[0].1);
+}
+
+#[test]
+fn parser_without_keyword_inventory() {
+    let code = "pub fn is_keyword(w: &str) -> bool {\n    matches!(w, \"select\")\n}\n";
+    let w = ws(&[(PARSER_RS, code)], &[(PQL_MD, PQL_DOC_OK)]);
+    let got = findings_of(&w, "pql-keyword-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].1.contains("no `KEYWORDS` inventory"), "{}", got[0].1);
+}
+
+#[test]
+fn pql_keywords_without_spec_document() {
+    let w = ws(&[(PARSER_RS, PARSER_OK)], &[]);
+    let got = findings_of(&w, "pql-keyword-drift");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].1.contains("has no spec"), "{}", got[0].1);
+}

@@ -1,0 +1,157 @@
+//! Fixture-driven rule tests.
+//!
+//! Each file under `tests/fixtures/` is one self-contained lint case:
+//!
+//! * line 1 is a `//@ path: <virtual path>` header naming the path the
+//!   file pretends to live at (rules key off paths — result-path
+//!   scoping, allowlists, crate grouping);
+//! * `//~ <rule>` at the end of a line expects that rule to fire on
+//!   that line; a line holding only `//~^ <rule>` expects it on the
+//!   line above;
+//! * everything from `//~` onward is stripped before scanning, so the
+//!   annotations themselves can never trip a rule.
+//!
+//! The harness lints each fixture as a single-file workspace and
+//! requires the (line, rule) multiset of findings to equal the
+//! annotations exactly — an extra finding fails as loudly as a missing
+//! one, which is what keeps both the positive *and* negative halves of
+//! every fixture honest.
+
+use polygamy_lint::scan::SourceFile;
+use polygamy_lint::{lint, rules, Workspace};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+struct Fixture {
+    /// File name under `tests/fixtures/`, for failure messages.
+    file: String,
+    /// The virtual workspace path from the `//@ path:` header.
+    vpath: String,
+    /// Source with the header blanked and all annotations stripped,
+    /// line numbering preserved.
+    text: String,
+    /// Expected findings as (1-based line, rule name).
+    expected: Vec<(usize, String)>,
+}
+
+fn parse_fixture(file: &str, raw: &str) -> Fixture {
+    let lines: Vec<&str> = raw.lines().collect();
+    let vpath = lines
+        .first()
+        .and_then(|l| l.strip_prefix("//@ path:"))
+        .unwrap_or_else(|| panic!("{file}: line 1 must be a `//@ path: …` header"))
+        .trim()
+        .to_string();
+    let mut expected = Vec::new();
+    let mut out_lines = vec![String::new()];
+    for (idx, line) in lines.iter().enumerate().skip(1) {
+        let lineno = idx + 1;
+        match line.find("//~") {
+            Some(pos) => {
+                let ann = &line[pos + 3..];
+                let (delta, rest) = match ann.strip_prefix('^') {
+                    Some(rest) => (1, rest),
+                    None => (0, ann),
+                };
+                let rule = rest.trim();
+                assert!(
+                    !rule.is_empty(),
+                    "{file}:{lineno}: `//~` annotation names no rule"
+                );
+                expected.push((lineno - delta, rule.to_string()));
+                out_lines.push(line[..pos].trim_end().to_string());
+            }
+            None => out_lines.push((*line).to_string()),
+        }
+    }
+    let mut text = out_lines.join("\n");
+    text.push('\n');
+    Fixture {
+        file: file.to_string(),
+        vpath,
+        text,
+        expected,
+    }
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut paths: Vec<_> = fs::read_dir(&dir)
+        .expect("tests/fixtures must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    paths.sort();
+    let fixtures: Vec<Fixture> = paths
+        .iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().to_string();
+            let raw = fs::read_to_string(p).expect("readable fixture");
+            parse_fixture(&name, &raw)
+        })
+        .collect();
+    assert!(!fixtures.is_empty(), "fixture corpus is empty");
+    fixtures
+}
+
+#[test]
+fn every_fixture_matches_its_annotations() {
+    for fx in load_fixtures() {
+        let ws = Workspace::from_sources(
+            vec![SourceFile {
+                path: fx.vpath.clone(),
+                text: fx.text.clone(),
+            }],
+            vec![],
+        );
+        let mut actual: Vec<(usize, String)> = lint(&ws)
+            .iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        let mut expected = fx.expected.clone();
+        actual.sort();
+        expected.sort();
+        assert_eq!(
+            actual, expected,
+            "{}: findings diverge from the fixture's annotations",
+            fx.file
+        );
+    }
+}
+
+#[test]
+fn annotations_name_real_rules() {
+    let mut known = rules::names();
+    known.extend(["invalid-allow", "unused-allow"]);
+    for fx in load_fixtures() {
+        for (line, rule) in &fx.expected {
+            assert!(
+                known.contains(&rule.as_str()),
+                "{}:{line}: annotation names unknown rule `{rule}`",
+                fx.file
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_every_file_scoped_rule() {
+    // The drift rules need paired code+spec workspaces and are covered
+    // in tests/drift.rs; every other rule — and both meta-rules — must
+    // have at least one positive case in the fixture corpus, so adding
+    // a rule without a fixture fails here.
+    let drift = ["wire-tag-drift", "metric-drift", "pql-keyword-drift"];
+    let mut required: Vec<&str> = rules::names()
+        .into_iter()
+        .filter(|r| !drift.contains(r))
+        .collect();
+    required.extend(["invalid-allow", "unused-allow"]);
+    let covered: BTreeSet<String> = load_fixtures()
+        .into_iter()
+        .flat_map(|fx| fx.expected.into_iter().map(|(_, rule)| rule))
+        .collect();
+    for rule in required {
+        assert!(covered.contains(rule), "no fixture exercises rule `{rule}`");
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/fx/src/allowed.rs
+pub fn suppressed() -> u64 {
+    // lint: allow(wall-clock, reason = "fixture: demonstrating a reasoned suppression")
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn reasonless() -> bool {
+    // lint: allow(float-partial-cmp) //~ invalid-allow
+    1.0_f64.partial_cmp(&2.0).unwrap() == std::cmp::Ordering::Less //~ float-partial-cmp
+}
+
+pub fn stale() {
+    // lint: allow(default-hasher, reason = "nothing here hashes at all") //~ unused-allow
+}

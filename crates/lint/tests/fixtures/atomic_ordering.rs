@@ -1,0 +1,21 @@
+//@ path: crates/fx/src/sync.rs
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Flag(AtomicBool);
+
+impl Flag {
+    pub fn raise(&self) {
+        // ordering: Release pairs with the Acquire load in `observed`
+        // to publish writes made before the flip.
+        self.0.store(true, Ordering::Release);
+    }
+
+    pub fn observed(&self) -> bool {
+        self.0.load(Ordering::Acquire) //~ atomic-ordering
+    }
+
+    pub fn sampled(&self) -> bool {
+        // Relaxed is the default contract and needs no comment.
+        self.0.load(Ordering::Relaxed)
+    }
+}

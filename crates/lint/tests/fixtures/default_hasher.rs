@@ -1,0 +1,15 @@
+//@ path: crates/fx/src/hashing.rs
+use std::collections::hash_map::DefaultHasher; //~ default-hasher
+use std::collections::hash_map::RandomState; //~ default-hasher
+use std::hash::{Hash, Hasher};
+
+pub fn seed_of(key: &str) -> u64 {
+    let mut h = DefaultHasher::new(); //~ default-hasher
+    key.hash(&mut h);
+    h.finish()
+}
+
+pub fn negative_space() -> &'static str {
+    // DefaultHasher named in a comment must not fire…
+    "…nor RandomState inside a string literal"
+}

@@ -1,0 +1,17 @@
+//@ path: crates/fx/src/order.rs
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ float-partial-cmp
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("scores are never NaN")) //~ float-partial-cmp
+}
+
+pub fn fine(xs: &mut [f64]) -> Option<std::cmp::Ordering> {
+    // total_cmp is the sanctioned total order; a partial_cmp that
+    // keeps its Option instead of unwrapping it is also fine.
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs.first().and_then(|a| a.partial_cmp(&1.0))
+}

@@ -1,0 +1,6 @@
+//@ path: crates/fx/src/lib.rs
+#![forbid(unsafe_code)]
+
+pub fn pure(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}

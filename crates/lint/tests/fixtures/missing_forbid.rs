@@ -1,0 +1,5 @@
+//@ path: crates/fx/src/lib.rs
+//~^ missing-forbid-unsafe
+pub fn pure(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}

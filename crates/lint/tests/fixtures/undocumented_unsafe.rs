@@ -1,0 +1,16 @@
+//@ path: crates/fx/src/raw.rs
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads of one
+    // byte; we read exactly that byte and nothing else.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } //~ undocumented-unsafe
+}
+
+// Safety talk without the marker does not count as documentation.
+pub unsafe fn trust_me(p: *const u8) -> u8 { //~ undocumented-unsafe
+    *p
+}

@@ -1,0 +1,28 @@
+//@ path: crates/core/src/pql/fx.rs
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn leaky(index: &HashMap<String, u32>, seen: HashSet<u64>) -> Vec<String> {
+    let mut out: Vec<String> = index.keys().cloned().collect(); //~ unsorted-iteration
+    for v in &seen { //~ unsorted-iteration
+        let _ = v;
+    }
+    out.sort();
+    out
+}
+
+pub fn fine(index: &HashMap<String, u32>, sorted: &BTreeMap<String, u32>) -> Option<u32> {
+    // Lookups are order-free, and BTree iteration is sorted by key.
+    let _ = sorted.keys().count();
+    index.get("x").copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_are_exempt() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert_eq!(m.iter().count(), 0);
+    }
+}

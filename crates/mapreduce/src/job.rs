@@ -11,7 +11,6 @@ use crate::cluster::Cluster;
 use crate::pool::run_indexed_tasks;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
@@ -64,8 +63,39 @@ impl JobMetrics {
     }
 }
 
+/// 64-bit FNV-1a as a `std::hash::Hasher`, for shuffle partitioning.
+///
+/// The partition a key lands in never reaches the output (reduce results
+/// are re-sorted globally), but pinning the hash keeps task boundaries —
+/// and therefore per-task metrics and scheduling traces — identical
+/// across toolchains, where `std`'s `DefaultHasher` is documented to
+/// drift between releases.
+struct FnvPartitioner(u64);
+
+impl FnvPartitioner {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+}
+
+impl Hasher for FnvPartitioner {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
 fn hash_of<K: Hash>(key: &K) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FnvPartitioner::new();
     key.hash(&mut h);
     h.finish()
 }

@@ -15,6 +15,8 @@
 //! * **metrics**: per-phase wall times and record counts for the
 //!   performance experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod job;
 pub mod pool;

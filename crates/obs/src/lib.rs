@@ -40,6 +40,7 @@
 //! assert!(global().snapshot().counter("example.widgets") >= 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod json;
@@ -119,4 +120,55 @@ pub mod names {
     /// Client-observed per-request latency in µs (histogram over
     /// [`super::LATENCY_BUCKETS_US`]) — recorded by `loadgen`.
     pub const LOADGEN_LATENCY_US: &str = "loadgen.latency_us";
+
+    /// Every canonical name above, in catalogue order — the machine-
+    /// checkable form of the `docs/observability.md` catalogue. The
+    /// `serve.errors.` entry is the family *prefix*; concrete error
+    /// counters append a §6 error kind to it. Consumers that validate
+    /// metric names (e.g. `bench_snapshot --validate`) resolve a name as
+    /// known when it equals an entry or extends the prefix entry.
+    pub const ALL: &[&str] = &[
+        CORE_QUERIES,
+        CORE_TASKS_EXPANDED,
+        CORE_QUERY_CACHE_HITS,
+        CORE_QUERY_CACHE_MISSES,
+        CORE_QUERY_CACHE_EVICTIONS,
+        CORE_STAGE_PLAN_NS,
+        CORE_STAGE_EXPAND_NS,
+        CORE_STAGE_EVALUATE_NS,
+        CORE_STAGE_ASSEMBLE_NS,
+        STORE_BYTES_FETCHED,
+        STORE_SEGMENT_FAULTS,
+        STORE_SEGMENT_CACHE_HITS,
+        STORE_SEGMENT_EVICTIONS,
+        STORE_CHECKSUM_VERIFICATIONS,
+        STORE_CHECKSUM_FAILURES,
+        SERVE_CONNECTIONS_OPENED,
+        SERVE_CONNECTIONS_CLOSED,
+        SERVE_CONNECTIONS_ACTIVE,
+        SERVE_REQUESTS,
+        SERVE_QUERIES,
+        SERVE_BATCHES,
+        SERVE_QUEUE_DEPTH,
+        SERVE_INFLIGHT,
+        SERVE_BATCH_SIZE,
+        SERVE_METRICS_FRAMES,
+        SERVE_DRAIN_NS,
+        SERVE_ERRORS_PREFIX,
+        LOADGEN_LATENCY_US,
+    ];
+
+    /// True when `name` is a canonical metric name: a concrete [`ALL`]
+    /// entry verbatim, or a family-prefix entry (trailing `.`) extended
+    /// by a non-empty suffix (`serve.errors.parse`). A bare prefix is
+    /// *not* canonical — no real instrument registers under it.
+    pub fn is_canonical(name: &str) -> bool {
+        ALL.iter().any(|&n| {
+            if n.ends_with('.') {
+                name.len() > n.len() && name.starts_with(n)
+            } else {
+                n == name
+            }
+        })
+    }
 }

@@ -1,5 +1,24 @@
 //! The instruments: lock-free counters, gauges and fixed-bucket
 //! histograms.
+//!
+//! # Memory-ordering contract
+//!
+//! Every atomic access in this module is `Ordering::Relaxed`, on
+//! purpose. The instruments are *statistical*: they promise that each
+//! individual increment is atomic (no lost updates, no torn reads) and
+//! that a snapshot taken after the process quiesces is exact — but a
+//! snapshot taken mid-flight is only approximately simultaneous across
+//! instruments, and an observer may see `serve.requests` advance before
+//! the `serve.queries` increment from the same request. Nothing may use
+//! a metric to *synchronise*: no happens-before edge is published by an
+//! update or consumed by a read, so control flow must never branch on a
+//! counter to decide whether some other write is visible. Cross-thread
+//! publication belongs to the channels and mutexes that move the data
+//! itself; keeping the instruments Relaxed keeps them free (one
+//! uncontended atomic add) on the hot path. The project linter
+//! (`polygamy-lint`, rule `atomic-ordering`) enforces the complement:
+//! any non-Relaxed ordering *outside* this crate must justify itself
+//! with an `// ordering:` contract comment.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 

@@ -50,6 +50,7 @@
 //! from `polygamy_store`), and `loadgen` in `crates/bench` drives a
 //! daemon with N concurrent clients to measure served-queries/sec.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -140,6 +140,9 @@ struct Shared {
 
 impl Shared {
     fn draining(&self) -> bool {
+        // ordering: SeqCst pairs with the store in `begin_drain` so that
+        // once any thread observes draining, it also observes the closed
+        // coalescer — admission and drain must agree on one total order.
         self.draining.load(Ordering::SeqCst)
     }
 
@@ -150,6 +153,9 @@ impl Shared {
             .lock()
             .expect("drain stamp poisoned")
             .get_or_insert_with(Instant::now);
+        // ordering: SeqCst with the loads in `draining()` — the flag and
+        // the coalescer close below form one publication that every
+        // admission check sees in the same order.
         self.draining.store(true, Ordering::SeqCst);
         self.coalescer.close();
     }
@@ -282,6 +288,8 @@ impl Server {
             conn_metrics().drain_ns.add(nanos);
         }
         // Stop the flusher last so its final line records post-drain state.
+        // ordering: SeqCst publishes the stop flag after every drain-side
+        // metric update above, so the flusher's final snapshot is complete.
         self.flusher_stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.flusher.take() {
             let _ = h.join();
@@ -303,6 +311,8 @@ fn metrics_flusher(path: &PathBuf, stop: &AtomicBool) {
         return;
     };
     loop {
+        // ordering: SeqCst pairs with the shutdown store — seeing `stop`
+        // implies seeing the drained metrics the final line must record.
         let stopping = stop.load(Ordering::SeqCst);
         let line = polygamy_obs::global().snapshot().to_json();
         let _ = writeln!(file, "{line}");
@@ -311,6 +321,7 @@ fn metrics_flusher(path: &PathBuf, stop: &AtomicBool) {
             return;
         }
         for _ in 0..20 {
+            // ordering: same SeqCst pairing as the loop-top load.
             if stop.load(Ordering::SeqCst) {
                 break;
             }

@@ -54,7 +54,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     if v.is_empty() {
         return f64::NAN;
     }
-    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_unstable_by(|a, b| a.total_cmp(b));
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -123,7 +123,7 @@ impl Summary {
                 max: f64::NAN,
             };
         }
-        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        v.sort_unstable_by(|a, b| a.total_cmp(b));
         let q = |q: f64| -> f64 {
             let pos = q * (v.len() - 1) as f64;
             let lo = pos.floor() as usize;

@@ -40,7 +40,7 @@ pub fn two_means_1d(values: &[f64]) -> Option<TwoMeans> {
     if v.len() < 2 {
         return None;
     }
-    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_unstable_by(|a, b| a.total_cmp(b));
     let n = v.len();
     if v[0] == v[n - 1] {
         return None;

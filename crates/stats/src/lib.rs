@@ -15,6 +15,8 @@
 //!   normalised dynamic time warping, the comparison techniques of
 //!   Section 6.4 / Appendix D.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod descriptive;
 pub mod kmeans;

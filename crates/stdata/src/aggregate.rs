@@ -258,10 +258,7 @@ pub fn aggregate(
                             pairs.push((c as u32, v));
                         }
                     }
-                    pairs.sort_unstable_by(|a, b| {
-                        a.0.cmp(&b.0)
-                            .then(a.1.partial_cmp(&b.1).expect("no NaN here"))
-                    });
+                    pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
                     let mut i = 0;
                     while i < pairs.len() {
                         let cell = pairs[i].0;

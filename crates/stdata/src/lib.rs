@@ -21,6 +21,7 @@
 //! crates consume only [`ScalarField`]s and partition adjacency, never raw
 //! records.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

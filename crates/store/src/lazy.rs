@@ -192,16 +192,22 @@ impl LazyIndex {
         // A recorded failure keeps failing without touching the disk: no
         // concurrent re-fault may decode bytes a previous fault saw fail
         // verification.
+        // ordering: Acquire pairs with the Release stores below — a thread
+        // that reads a verdict also sees the verification that produced it.
         if self.verified[seg_index].load(Ordering::Acquire) == VERIFIED_BAD {
             return Err(StoreError::ChecksumMismatch { what });
         }
         let bytes = self.store.source().fetch(info.loc, &what, false)?;
+        // ordering: Acquire — same pairing as the verdict check above.
         if self.verified[seg_index].load(Ordering::Acquire) == UNVERIFIED {
             metrics.verifications.inc();
             match SegmentSource::verify(&bytes, info.loc, &what) {
+                // ordering: Release publishes the verdict (and the checksum
+                // work that justifies it) to every later Acquire load.
                 Ok(()) => self.verified[seg_index].store(VERIFIED_OK, Ordering::Release),
                 Err(e) => {
                     metrics.verify_failures.inc();
+                    // ordering: Release — sticky failure published the same way.
                     self.verified[seg_index].store(VERIFIED_BAD, Ordering::Release);
                     return Err(e);
                 }
@@ -234,6 +240,8 @@ impl LazyIndex {
                 manifest.datasets[info.dataset_index].meta.name, info.function
             );
             self.store.source().read(info.loc, &what).map(drop)?;
+            // ordering: Release — publishes this force-check's verdict to
+            // the Acquire loads on the fault path.
             self.verified[i].store(VERIFIED_OK, Ordering::Release);
             checked += 1;
         }

@@ -300,9 +300,11 @@ impl Drop for Mapping {
 }
 
 // SAFETY: the mapping is read-only and its address/extent never change;
-// concurrent reads from any thread are safe.
+// moving it to another thread moves nothing but the pointer.
 #[cfg(unix)]
 unsafe impl Send for Mapping {}
+// SAFETY: same argument as Send — a shared `&Mapping` only ever exposes
+// immutable pages, so concurrent reads from any thread are safe.
 #[cfg(unix)]
 unsafe impl Sync for Mapping {}
 

@@ -22,6 +22,8 @@
 //! * [`features`] — positive/negative feature sets as packed bit vectors;
 //! * [`bitvec`] — the packed bit-set representation (paper Appendix C).
 
+#![forbid(unsafe_code)]
+
 pub mod bitvec;
 pub mod criticals;
 pub mod error;

@@ -132,18 +132,10 @@ impl MergeTree {
             .filter(|&v| !f[v as usize].is_nan())
             .collect();
         match direction {
-            Direction::Join => order.sort_unstable_by(|&a, &b| {
-                f[b as usize]
-                    .partial_cmp(&f[a as usize])
-                    .expect("NaN filtered")
-                    .then(b.cmp(&a))
-            }),
-            Direction::Split => order.sort_unstable_by(|&a, &b| {
-                f[a as usize]
-                    .partial_cmp(&f[b as usize])
-                    .expect("NaN filtered")
-                    .then(a.cmp(&b))
-            }),
+            Direction::Join => order
+                .sort_unstable_by(|&a, &b| f[b as usize].total_cmp(&f[a as usize]).then(b.cmp(&a))),
+            Direction::Split => order
+                .sort_unstable_by(|&a, &b| f[a as usize].total_cmp(&f[b as usize]).then(a.cmp(&b))),
         }
         const UNSEEN: u32 = u32::MAX;
         let mut rank = vec![UNSEEN; nv];

@@ -25,6 +25,8 @@
 //! the [on-disk store format](https://github.com/paper-repro/data-polygamy/blob/main/docs/store-format.md)
 //! and the [network wire protocol](https://github.com/paper-repro/data-polygamy/blob/main/docs/serving.md).
 
+#![forbid(unsafe_code)]
+
 pub use polygamy_core as core;
 pub use polygamy_datagen as datagen;
 pub use polygamy_mapreduce as mapreduce;
