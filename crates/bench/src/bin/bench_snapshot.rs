@@ -9,13 +9,15 @@
 //! Measurement covers: index build, store write, store open eager vs lazy
 //! (cold and warm), the lazy path's byte footprint through the first
 //! single-pair query (asserted strictly smaller than an eager open's),
-//! sustained all-pairs query rate serial vs flat-parallel, and PQL parse
-//! latency. `--validate` re-reads an emitted file through the schema
-//! struct — a missing or mistyped key is a parse error — and checks the
-//! snapshot invariants, exiting non-zero on any violation.
+//! sustained all-pairs query rate serial vs flat-parallel, sharded vs
+//! monolithic serving of the same workload (with per-shard fault/byte
+//! deltas), and PQL parse latency. `--validate` re-reads an emitted file
+//! through the schema struct — a missing or mistyped key is a parse
+//! error — and checks the snapshot invariants, exiting non-zero on any
+//! violation.
 
 use polygamy_bench::snapshot::{
-    today_utc, BenchSnapshot, CorpusInfo, Metrics, ObsMetrics, ServingMetrics,
+    today_utc, BenchSnapshot, CorpusInfo, Metrics, ObsMetrics, ServingMetrics, ShardingMetrics,
     SNAPSHOT_SCHEMA_VERSION,
 };
 use polygamy_bench::{human_bytes, timed};
@@ -26,7 +28,7 @@ use polygamy_core::{run_query, DataPolygamy};
 use polygamy_datagen::{urban_collection, UrbanConfig};
 use polygamy_mapreduce::Cluster;
 use polygamy_obs::names;
-use polygamy_store::{LoadFilter, SourceBackend, Store, StoreSession};
+use polygamy_store::{shard_store, LoadFilter, SourceBackend, Store, StoreSession};
 use std::hint::black_box;
 use std::process::ExitCode;
 
@@ -57,7 +59,7 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// the catalogue (`polygamy_obs::names::ALL`), so renaming or retiring
 /// a metric breaks snapshot validation here instead of silently
 /// orphaning the committed `BENCH_*.json` obs sections.
-fn obs_metric_sources() -> [(&'static str, &'static str); 8] {
+fn obs_metric_sources() -> [(&'static str, &'static str); 10] {
     [
         ("query_cache_hits", "core.query_cache.hits"),
         ("query_cache_misses", "core.query_cache.misses"),
@@ -67,6 +69,10 @@ fn obs_metric_sources() -> [(&'static str, &'static str); 8] {
         ("checksum_failures", "store.checksum.failures"),
         ("batch_dispatches", "serve.batch_size"),
         ("batch_queries", "serve.batch_size"),
+        // The sharding section's per-shard vectors index these families;
+        // shard 0 always exists, so it stands in for the family here.
+        ("shard_faults", "store.shard.faults.0"),
+        ("shard_bytes_fetched", "store.shard.bytes_fetched.0"),
     ]
 }
 
@@ -305,6 +311,70 @@ fn run(args: &[String]) -> Result<(), String> {
         served.coalesced.mean_batch()
     );
 
+    // ---- Sharded vs monolithic serving: migrate the store (byte-exact)
+    // to a 3-shard layout and run the same all-pairs workload on a fresh
+    // cold lazy session over each, so the two rates differ only by the
+    // scatter-gather routing and per-shard I/O. Results are asserted
+    // identical, and the sharded run's registry bracket yields the exact
+    // per-shard fault/byte deltas.
+    let n_shards = 3usize;
+    let catalog_path = std::env::temp_dir().join(format!(
+        "bench-snapshot-{}-sharded.plst",
+        std::process::id()
+    ));
+    let shard_catalog =
+        shard_store(&store_path, &catalog_path, n_shards).map_err(|e| e.to_string())?;
+    let rate_over = |path: &std::path::Path| -> Result<(usize, f64), String> {
+        let session = StoreSession::open_lazy_with(
+            path,
+            config,
+            &LoadFilter::all(),
+            SourceBackend::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let (rels, secs) = timed(|| session.query(&rate_query).map_err(|e| e.to_string()));
+        let rels = rels?;
+        if rels != flat_rels {
+            return Err(format!(
+                "lazy session over {} disagrees with the in-memory index",
+                path.display()
+            ));
+        }
+        Ok((rels.len(), secs))
+    };
+    let (mono_rels_n, mono_secs) = rate_over(&store_path)?;
+    let obs_shard_before = polygamy_obs::global().snapshot();
+    let (sharded_rels_n, sharded_secs) = rate_over(&catalog_path)?;
+    let obs_shard_after = polygamy_obs::global().snapshot();
+    let shard_counter_delta = |prefix: &str| -> Vec<u64> {
+        (0..n_shards)
+            .map(|s| {
+                let name = format!("{prefix}{s}");
+                obs_shard_after
+                    .counter(&name)
+                    .saturating_sub(obs_shard_before.counter(&name))
+            })
+            .collect()
+    };
+    let sharding = ShardingMetrics {
+        n_shards,
+        query_rate_monolith_per_min: mono_rels_n as f64 / mono_secs.max(1e-9) * 60.0,
+        query_rate_sharded_per_min: sharded_rels_n as f64 / sharded_secs.max(1e-9) * 60.0,
+        shard_faults: shard_counter_delta(names::STORE_SHARD_FAULTS_PREFIX),
+        shard_bytes_fetched: shard_counter_delta(names::STORE_SHARD_BYTES_FETCHED_PREFIX),
+    };
+    for shard in 0..n_shards {
+        let _ = std::fs::remove_file(shard_catalog.shard_path(&catalog_path, shard));
+    }
+    let _ = std::fs::remove_file(&catalog_path);
+    eprintln!(
+        "sharding: {:.0} relationships/min over {n_shards} shards vs {:.0} monolithic — \
+         per-shard faults {:?}",
+        sharding.query_rate_sharded_per_min,
+        sharding.query_rate_monolith_per_min,
+        sharding.shard_faults
+    );
+
     // ---- PQL parse latency, amortised to a stable microsecond figure.
     let pql = to_pql(&rate_query);
     let parse_repeats = 2_000u32;
@@ -406,6 +476,7 @@ fn run(args: &[String]) -> Result<(), String> {
             mean_coalesced_batch: served.coalesced.mean_batch(),
         },
         obs,
+        sharding,
     };
     let problems = snapshot.problems();
     if !problems.is_empty() {

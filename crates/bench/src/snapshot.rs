@@ -28,7 +28,11 @@ use serde::{Deserialize, Serialize};
 /// * v3 — adds the `obs` section: metrics-registry deltas captured around
 ///   the measurement phases (cache hit/miss, segment faults, checksum
 ///   verifications, coalesced batch sizes — see `docs/observability.md`).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+/// * v4 — adds the `sharding` section: the same store served monolithic
+///   vs sharded (query rate side by side) with per-shard fault and
+///   byte-fetched deltas from the `store.shard.*.<shard>` counter
+///   families (see `docs/store-format.md` § sharded stores).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// Corpus and store shape the metrics were measured against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -141,6 +145,30 @@ pub struct ObsMetrics {
     pub batch_queries: u64,
 }
 
+/// Sharded-vs-monolith serving (schema v4): the monolithic store is
+/// migrated to an N-shard layout (`shard_store`, byte-exact) and the
+/// same all-pairs workload runs on a lazy session over each, so the two
+/// rates differ only by the scatter-gather routing and per-shard I/O.
+/// The per-shard vectors are deltas of the `store.shard.faults.<shard>`
+/// and `store.shard.bytes_fetched.<shard>` counter families across the
+/// sharded run — exact event counts, one slot per shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingMetrics {
+    /// Shards in the measured layout (≥ 2; 1 would just be the monolith).
+    pub n_shards: usize,
+    /// All-pairs lazy query throughput on the monolithic store,
+    /// relationships per minute.
+    pub query_rate_monolith_per_min: f64,
+    /// The same workload on the sharded store, relationships per minute.
+    pub query_rate_sharded_per_min: f64,
+    /// Per-shard segment-fault deltas (`store.shard.faults.<shard>`),
+    /// indexed by shard.
+    pub shard_faults: Vec<u64>,
+    /// Per-shard payload-byte deltas
+    /// (`store.shard.bytes_fetched.<shard>`), indexed by shard.
+    pub shard_bytes_fetched: Vec<u64>,
+}
+
 /// One committed benchmark measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSnapshot {
@@ -162,6 +190,8 @@ pub struct BenchSnapshot {
     pub serving: ServingMetrics,
     /// Metrics-registry deltas around the phases (schema v3).
     pub obs: ObsMetrics,
+    /// Sharded-vs-monolith serving (schema v4).
+    pub sharding: ShardingMetrics,
 }
 
 impl BenchSnapshot {
@@ -289,6 +319,62 @@ impl BenchSnapshot {
                 o.batch_queries, s.queries_total
             ));
         }
+        let sh = &self.sharding;
+        if sh.n_shards < 2 {
+            out.push(format!(
+                "sharding: n_shards = {} (a 1-shard layout is just the monolith)",
+                sh.n_shards
+            ));
+        }
+        if sh.shard_faults.len() != sh.n_shards || sh.shard_bytes_fetched.len() != sh.n_shards {
+            out.push(format!(
+                "sharding: {} fault / {} byte slots for {} shards — \
+                 one delta per shard expected",
+                sh.shard_faults.len(),
+                sh.shard_bytes_fetched.len(),
+                sh.n_shards
+            ));
+        }
+        for (name, v) in [
+            (
+                "query_rate_monolith_per_min",
+                sh.query_rate_monolith_per_min,
+            ),
+            ("query_rate_sharded_per_min", sh.query_rate_sharded_per_min),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                out.push(format!("sharding: {name} = {v} (expected finite > 0)"));
+            }
+        }
+        if sh.shard_faults.iter().sum::<u64>() == 0 {
+            out.push("sharding: the sharded run never faulted a segment".into());
+        }
+        if sh.shard_faults.iter().sum::<u64>() > self.corpus.n_segments as u64 {
+            out.push(format!(
+                "sharding: {} shard faults, but the store only holds {} \
+                 segments — the sharded run refaulted",
+                sh.shard_faults.iter().sum::<u64>(),
+                self.corpus.n_segments
+            ));
+        }
+        if sh
+            .shard_faults
+            .iter()
+            .zip(&sh.shard_bytes_fetched)
+            .any(|(&f, &b)| f > 0 && b == 0)
+        {
+            out.push("sharding: a shard faulted segments but fetched no bytes".into());
+        }
+        // Scatter-gather routing must not *cost* throughput: the same
+        // slack as the coalescing check, for scheduler noise on loaded
+        // CI hosts.
+        if sh.query_rate_sharded_per_min < 0.75 * sh.query_rate_monolith_per_min {
+            out.push(format!(
+                "sharding: {:.1} relationships/min sharded vs {:.1} monolithic \
+                 — sharding made serving slower",
+                sh.query_rate_sharded_per_min, sh.query_rate_monolith_per_min
+            ));
+        }
         out
     }
 }
@@ -404,6 +490,13 @@ mod tests {
                 batch_dispatches: 32,
                 batch_queries: 48,
             },
+            sharding: ShardingMetrics {
+                n_shards: 3,
+                query_rate_monolith_per_min: 38_000.0,
+                query_rate_sharded_per_min: 39_000.0,
+                shard_faults: vec![40, 35, 25],
+                shard_bytes_fetched: vec![120_000, 100_000, 80_000],
+            },
         }
     }
 
@@ -450,6 +543,29 @@ mod tests {
         // impossible (31 still covers the per-mode total of 24).
         let mut snap = sample();
         snap.obs.batch_queries = snap.obs.batch_dispatches - 1;
+        let problems = snap.problems();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+    }
+
+    #[test]
+    fn validation_catches_sharding_violations() {
+        let mut snap = sample();
+        // A slot count that disagrees with the layout, and a sharded run
+        // slower than the monolith beyond the noise allowance.
+        snap.sharding.shard_faults = vec![100, 0];
+        snap.sharding.query_rate_sharded_per_min = 0.5 * snap.sharding.query_rate_monolith_per_min;
+        let problems = snap.problems();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        // A degenerate 1-shard layout is just the monolith: flagged.
+        let mut snap = sample();
+        snap.sharding.n_shards = 1;
+        snap.sharding.shard_faults = vec![100];
+        snap.sharding.shard_bytes_fetched = vec![300_000];
+        let problems = snap.problems();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        // Faults without bytes means the counters disagree: flagged.
+        let mut snap = sample();
+        snap.sharding.shard_bytes_fetched = vec![120_000, 0, 80_000];
         let problems = snap.problems();
         assert_eq!(problems.len(), 1, "{problems:?}");
     }

@@ -8,7 +8,7 @@
 
 use crate::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
 use crate::error::{Error, Result};
-use crate::executor::execute_queries;
+use crate::executor::{execute_queries, execute_queries_routed, ShardMap};
 use crate::index::{DatasetEntry, FunctionEntry, IndexView, PolygamyIndex};
 use crate::pipeline::{compute_scalar_functions, identify_features};
 use crate::query::RelationshipQuery;
@@ -385,6 +385,46 @@ pub fn run_query_many_view(
     queries: &[RelationshipQuery],
 ) -> Result<Vec<Vec<Relationship>>> {
     execute_queries(index, geometry, config, cache, queries)
+}
+
+/// [`run_query_view`] with an explicit [`ShardMap`]: the scatter-gather
+/// entry point used by sharded store sessions. Tasks are grouped per
+/// owning shard before evaluation and results gathered back into canonical
+/// task order, so output is byte-identical to [`run_query_view`] for any
+/// shard layout ([`ShardMap::monolithic`] routes exactly like the flat
+/// executor).
+pub fn run_query_view_routed(
+    index: &IndexView<'_>,
+    geometry: &CityGeometry,
+    config: &Config,
+    cache: &QueryCache,
+    query: &RelationshipQuery,
+    shards: &ShardMap,
+) -> Result<Vec<Relationship>> {
+    Ok(execute_queries_routed(
+        index,
+        geometry,
+        config,
+        cache,
+        std::slice::from_ref(query),
+        shards,
+    )?
+    .pop()
+    .unwrap_or_default())
+}
+
+/// [`run_query_many_view`] with an explicit [`ShardMap`] — the batched
+/// scatter-gather twin of [`run_query_view_routed`], with the same
+/// byte-identity guarantee across shard layouts.
+pub fn run_query_many_view_routed(
+    index: &IndexView<'_>,
+    geometry: &CityGeometry,
+    config: &Config,
+    cache: &QueryCache,
+    queries: &[RelationshipQuery],
+    shards: &ShardMap,
+) -> Result<Vec<Vec<Relationship>>> {
+    execute_queries_routed(index, geometry, config, cache, queries, shards)
 }
 
 #[cfg(test)]

@@ -50,10 +50,10 @@ pub mod significance;
 
 pub use cache::{Fnv1a, QueryCache, ShardedLruCache};
 pub use error::{Error, Result};
-pub use executor::query_datasets;
+pub use executor::{query_datasets, ShardMap};
 pub use framework::{
-    index_dataset, run_query, run_query_many, run_query_many_view, run_query_view, CityGeometry,
-    Config, DataPolygamy,
+    index_dataset, run_query, run_query_many, run_query_many_view, run_query_many_view_routed,
+    run_query_view, run_query_view_routed, CityGeometry, Config, DataPolygamy,
 };
 pub use function::{FunctionRef, FunctionSpec};
 pub use index::{DatasetEntry, FunctionEntry, IndexStats, IndexView, PolygamyIndex};

@@ -89,6 +89,14 @@ pub mod names {
     pub const STORE_CHECKSUM_VERIFICATIONS: &str = "store.checksum.verifications";
     /// Segment checksum verifications that failed (counter).
     pub const STORE_CHECKSUM_FAILURES: &str = "store.checksum.failures";
+    /// Prefix for per-shard fault counters in a sharded store:
+    /// `store.shard.faults.<shard>` counts segment faults served by that
+    /// shard file.
+    pub const STORE_SHARD_FAULTS_PREFIX: &str = "store.shard.faults.";
+    /// Prefix for per-shard byte counters in a sharded store:
+    /// `store.shard.bytes_fetched.<shard>` counts bytes read from that
+    /// shard file (demand-paged segment reads and eager loads alike).
+    pub const STORE_SHARD_BYTES_FETCHED_PREFIX: &str = "store.shard.bytes_fetched.";
 
     /// Connections the daemon accepted (counter).
     pub const SERVE_CONNECTIONS_OPENED: &str = "serve.connections.opened";
@@ -143,6 +151,8 @@ pub mod names {
         STORE_SEGMENT_EVICTIONS,
         STORE_CHECKSUM_VERIFICATIONS,
         STORE_CHECKSUM_FAILURES,
+        STORE_SHARD_FAULTS_PREFIX,
+        STORE_SHARD_BYTES_FETCHED_PREFIX,
         SERVE_CONNECTIONS_OPENED,
         SERVE_CONNECTIONS_CLOSED,
         SERVE_CONNECTIONS_ACTIVE,

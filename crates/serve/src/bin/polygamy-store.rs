@@ -3,6 +3,9 @@
 //!
 //! ```text
 //! polygamy-store build <path> [--quick] [--years N] [--scale S] [--no-fields]
+//!                [--shards N]
+//! polygamy-store shard <monolith.plst> <out.plst> [--shards N]
+//! polygamy-store merge <catalog.plst> <out.plst>
 //! polygamy-store inspect <path> [--verify]
 //! polygamy-store query <path> <left> <right> [--permutations N]
 //!                [--min-score X] [--include-insignificant] [--json] [--trace]
@@ -23,9 +26,20 @@
 //! user-defined thresholds still evaluates.
 //!
 //! `build` indexes the synthetic urban corpus from `polygamy_datagen` and
-//! writes it as a store; `inspect` prints the header, catalog and segment
+//! writes it as a store — with `--shards N` a *sharded* store: one
+//! self-contained shard file per partition plus a shard catalog at the
+//! given path. `shard` migrates an existing monolithic store into a
+//! sharded layout and `merge` reassembles a sharded store into one file;
+//! both copy geometry and segment bytes verbatim, so
+//! `shard` → `merge` reproduces the original monolith byte-for-byte.
+//! Every other subcommand auto-detects which kind of file it was given.
+//!
+//! `inspect` prints the header, catalog and segment
 //! directory without decoding any segment (`--verify` additionally reads
-//! every segment and checks its checksum); `query` opens a serving session
+//! every segment and checks its checksum); on a sharded store it prints
+//! the shard layout with per-shard availability instead, and `--verify`
+//! checks every shard (failing on the first unavailable one). `query`
+//! opens a serving session
 //! and evaluates one relationship query — or, with `--batch`, a whole list
 //! of `left:right` pairs through `StoreSession::query_many`, which runs
 //! every pair's candidate evaluations on one shared worker pool instead of
@@ -73,7 +87,9 @@ use polygamy_obs::{names, trace};
 use polygamy_serve::{ServeOptions, Server};
 use polygamy_store::{
     execute_pql_batch, execute_pql_batch_traced, execute_pql_query, execute_pql_query_traced,
-    LazyIndex, LoadFilter, PqlOutcome, PqlServeError, SourceBackend, Store, StoreSession,
+    is_sharded, merge_shards, save_sharded, shard_store, LazyIndex, LoadFilter, PqlOutcome,
+    PqlServeError, ShardCatalog, ShardedLazy, SourceBackend, Store, StoreSession,
+    SHARD_CATALOG_VERSION,
 };
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
@@ -84,14 +100,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: polygamy-store <build|inspect|query|repl|serve> <path> [args]\n\
-                 \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields]\n\
+                "usage: polygamy-store <build|shard|merge|inspect|query|repl|serve> <path> [args]\n\
+                 \x20 build <path> [--quick] [--years N] [--scale S] [--no-fields] [--shards N]\n\
+                 \x20 shard <monolith.plst> <out.plst> [--shards N]\n\
+                 \x20 merge <catalog.plst> <out.plst>\n\
                  \x20 inspect <path> [--verify]\n\
                  \x20 query <path> <left> <right> [--permutations N] \
                  [--min-score X] [--include-insignificant] [--json] [--trace] [--lazy [--mmap]]\n\
@@ -171,6 +191,17 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         report.total_secs
     );
     let index = dp.index().map_err(|e| e.to_string())?;
+    if let Some(n) = flag_value(args, "--shards") {
+        let n_shards: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("build: --shards expects a positive integer")?;
+        let catalog =
+            save_sharded(path, dp.geometry(), index, n_shards).map_err(|e| e.to_string())?;
+        print_shard_summary(path, &catalog)?;
+        return Ok(());
+    }
     let store = Store::save(path, dp.geometry(), index).map_err(|e| e.to_string())?;
     println!(
         "wrote {path}: {} bytes, {} segments",
@@ -180,8 +211,80 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One line per shard file: name, size and owned data sets. Shared by
+/// `build --shards` and `shard`, which produce identical layouts.
+fn print_shard_summary(catalog_path: &str, catalog: &ShardCatalog) -> Result<(), String> {
+    println!(
+        "wrote shard catalog {catalog_path}: {} data set(s) over {} shard(s)",
+        catalog.datasets.len(),
+        catalog.n_shards()
+    );
+    for shard in 0..catalog.n_shards() {
+        let file = catalog.shard_path(std::path::Path::new(catalog_path), shard);
+        let bytes = std::fs::metadata(&file).map_err(|e| e.to_string())?.len();
+        let owned: Vec<&str> = catalog
+            .datasets_of_shard(shard)
+            .into_iter()
+            .map(|di| catalog.datasets[di].meta.name.as_str())
+            .collect();
+        println!(
+            "  shard {shard}: {} ({bytes} bytes) — {}",
+            file.display(),
+            if owned.is_empty() {
+                "no data sets".to_string()
+            } else {
+                owned.join(", ")
+            }
+        );
+    }
+    Ok(())
+}
+
+/// `shard <monolith> <out> [--shards N]`: migrate a monolithic store into
+/// a sharded layout, copying geometry and segment bytes verbatim.
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    let monolith = args.first().ok_or("shard: missing <monolith.plst>")?;
+    let out = args.get(1).ok_or("shard: missing <out.plst>")?;
+    let n_shards: usize = match flag_value(args, "--shards") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("shard: --shards expects a positive integer")?,
+        None => 2,
+    };
+    if is_sharded(monolith).map_err(|e| e.to_string())? {
+        return Err(format!(
+            "shard: {monolith} is already a shard catalog; merge it first"
+        ));
+    }
+    let catalog = shard_store(monolith, out, n_shards).map_err(|e| e.to_string())?;
+    print_shard_summary(out, &catalog)?;
+    Ok(())
+}
+
+/// `merge <catalog> <out>`: reassemble a sharded store into one monolith.
+/// Byte-for-byte inverse of `shard`.
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let catalog_path = args.first().ok_or("merge: missing <catalog.plst>")?;
+    let out = args.get(1).ok_or("merge: missing <out.plst>")?;
+    if !is_sharded(catalog_path).map_err(|e| e.to_string())? {
+        return Err(format!("merge: {catalog_path} is not a shard catalog"));
+    }
+    let store = merge_shards(catalog_path, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} bytes, {} segments",
+        store.file_bytes().map_err(|e| e.to_string())?,
+        store.manifest().segments.len()
+    );
+    Ok(())
+}
+
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("inspect: missing <path>")?;
+    if is_sharded(path).map_err(|e| e.to_string())? {
+        return cmd_inspect_sharded(path, args);
+    }
     let store = Store::open(path).map_err(|e| e.to_string())?;
     let header = store.header();
     let manifest = store.manifest();
@@ -246,6 +349,64 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         snap.counter(names::STORE_CHECKSUM_VERIFICATIONS),
         snap.counter(names::STORE_CHECKSUM_FAILURES),
     );
+    Ok(())
+}
+
+/// `inspect` on a shard catalog: the shard layout with per-shard
+/// availability, probed through the same demand-paged open the serving
+/// path uses. `--verify` checksums every segment of every shard and
+/// fails on the first unavailable one.
+fn cmd_inspect_sharded(path: &str, args: &[String]) -> Result<(), String> {
+    let catalog = ShardCatalog::read(path).map_err(|e| e.to_string())?;
+    println!(
+        "shard catalog {path}: format v{SHARD_CATALOG_VERSION}, {} data set(s) over {} shard(s)",
+        catalog.datasets.len(),
+        catalog.n_shards()
+    );
+    println!("catalog ({} data sets):", catalog.datasets.len());
+    for (di, d) in catalog.datasets.iter().enumerate() {
+        println!(
+            "  [{di}] {:<14} shard {:>2}, {:>9} records, {:>6} specs",
+            d.meta.name, catalog.shard_of[di], d.n_records, d.n_specs,
+        );
+    }
+    // Availability is probed exactly as serving would see it: a degraded
+    // open that records each broken shard instead of failing outright.
+    let lazy = ShardedLazy::open(path, &LoadFilter::all(), SourceBackend::default())
+        .map_err(|e| e.to_string())?;
+    println!("shards ({}):", catalog.n_shards());
+    for shard in 0..catalog.n_shards() {
+        let file = catalog.shard_path(std::path::Path::new(path), shard);
+        let status = match lazy.unavailable_reason(shard) {
+            None => format!(
+                "available ({} bytes)",
+                std::fs::metadata(&file).map_err(|e| e.to_string())?.len()
+            ),
+            Some(reason) => format!("UNAVAILABLE — {reason}"),
+        };
+        let owned: Vec<&str> = catalog
+            .datasets_of_shard(shard)
+            .into_iter()
+            .map(|di| catalog.datasets[di].meta.name.as_str())
+            .collect();
+        println!(
+            "  shard {shard}: {} — {status} — {}",
+            file.display(),
+            if owned.is_empty() {
+                "no data sets".to_string()
+            } else {
+                owned.join(", ")
+            }
+        );
+    }
+    if args.iter().any(|a| a == "--verify") {
+        let checked = lazy.verify_all().map_err(|e| e.to_string())?;
+        println!(
+            "verify: geometry + {checked} segment(s) OK across {} shard(s) ({} bytes read)",
+            catalog.n_shards(),
+            lazy.bytes_fetched()
+        );
+    }
     Ok(())
 }
 

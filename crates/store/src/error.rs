@@ -35,6 +35,20 @@ pub enum StoreError {
     /// A query referenced a cataloged data set whose segments the session's
     /// load filter did not materialize.
     DatasetNotLoaded(String),
+    /// A shard of a sharded store could not be opened (missing, truncated
+    /// or corrupt shard file) and a query's footprint touches it. Shards
+    /// that opened cleanly keep serving; only queries touching this shard
+    /// fail, and they keep failing with this same error until the shard
+    /// file is restored.
+    ShardUnavailable {
+        /// Index of the shard in the shard catalog.
+        shard: usize,
+        /// Shard file name as recorded in the catalog.
+        file: String,
+        /// Why the shard failed to open, rendered from the underlying
+        /// open error.
+        reason: String,
+    },
     /// A query against a loaded session failed.
     Query(polygamy_core::Error),
 }
@@ -58,6 +72,13 @@ impl fmt::Display for StoreError {
             }
             StoreError::DatasetNotLoaded(name) => {
                 write!(f, "data set not loaded by this session's filter: {name}")
+            }
+            StoreError::ShardUnavailable {
+                shard,
+                file,
+                reason,
+            } => {
+                write!(f, "shard {shard} ({file}) unavailable: {reason}")
             }
             StoreError::Query(e) => write!(f, "query error: {e}"),
         }
@@ -114,5 +135,12 @@ mod tests {
         assert!(StoreError::UnknownDataset("taxi".into())
             .to_string()
             .contains("taxi"));
+        let s = StoreError::ShardUnavailable {
+            shard: 2,
+            file: "corpus.shard2.plst".into(),
+            reason: "i/o error".into(),
+        }
+        .to_string();
+        assert!(s.contains("shard 2") && s.contains("corpus.shard2.plst"));
     }
 }

@@ -222,7 +222,9 @@ fn dec_blob_loc(d: &mut Dec<'_>) -> Result<BlobLoc> {
     })
 }
 
-fn enc_dataset_entry(e: &mut Enc, entry: &DatasetEntry) {
+/// Encodes one catalog entry (shared by the manifest and the shard
+/// catalog, so the two formats can never drift on catalog bytes).
+pub(crate) fn enc_dataset_entry(e: &mut Enc, entry: &DatasetEntry) {
     e.str(&entry.meta.name);
     e.u8(entry.meta.spatial_resolution.code());
     e.u8(entry.meta.temporal_resolution.code());
@@ -232,7 +234,8 @@ fn enc_dataset_entry(e: &mut Enc, entry: &DatasetEntry) {
     e.usize(entry.n_specs);
 }
 
-fn dec_dataset_entry(d: &mut Dec<'_>) -> Result<DatasetEntry> {
+/// Decodes one catalog entry (see [`enc_dataset_entry`]).
+pub(crate) fn dec_dataset_entry(d: &mut Dec<'_>) -> Result<DatasetEntry> {
     let name = d.str()?;
     let s = d.u8()?;
     let t = d.u8()?;

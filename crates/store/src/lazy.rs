@@ -72,6 +72,17 @@ fn lazy_metrics() -> &'static LazyMetrics {
 /// resident while bounding memory on corpora far larger than RAM.
 pub const DEFAULT_SEGMENT_CACHE_CAPACITY: usize = 1_024;
 
+/// Per-shard observability handles, passed in by the sharded open path so
+/// every fault and byte served by one shard file lands on that shard's
+/// own counters (`store.shard.faults.<shard>` /
+/// `store.shard.bytes_fetched.<shard>`) in addition to the process-wide
+/// lazy-serving counters.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardObs {
+    pub(crate) faults: Arc<Counter>,
+    pub(crate) bytes_fetched: Arc<Counter>,
+}
+
 /// Per-segment verification verdict (values of the atomic cells).
 const UNVERIFIED: u8 = 0;
 const VERIFIED_OK: u8 = 1;
@@ -88,6 +99,13 @@ pub struct LazyIndex {
     verified: Vec<AtomicU8>,
     /// Decoded segments keyed by directory position.
     cache: ShardedLruCache<usize, Arc<FunctionEntry>>,
+    /// Local → global catalog-index remap, set when this index serves one
+    /// shard of a sharded store: the shard file numbers its data sets
+    /// locally (0..k), but decoded entries must carry the *global* index
+    /// so expansion and routing see the monolithic catalog.
+    global_of: Option<Vec<usize>>,
+    /// Per-shard counters, set on sharded opens.
+    shard_obs: Option<ShardObs>,
 }
 
 impl LazyIndex {
@@ -114,7 +132,34 @@ impl LazyIndex {
             admitted,
             verified,
             cache: ShardedLruCache::new(DEFAULT_SEGMENT_CACHE_CAPACITY),
+            global_of: None,
+            shard_obs: None,
         })
+    }
+
+    /// [`LazyIndex::new`] for one shard of a sharded store: decoded
+    /// entries carry `global_of[local]` as their data set index (the
+    /// monolithic catalog position), and faults/bytes served by this shard
+    /// additionally land on its per-shard counters.
+    pub(crate) fn new_sharded(
+        store: Store,
+        filter: &LoadFilter,
+        global_of: Vec<usize>,
+        shard_obs: ShardObs,
+    ) -> Result<Self> {
+        debug_assert_eq!(global_of.len(), store.manifest().datasets.len());
+        let mut lazy = Self::new(store, filter)?;
+        lazy.global_of = Some(global_of);
+        lazy.shard_obs = Some(shard_obs);
+        Ok(lazy)
+    }
+
+    /// The global catalog index a locally-numbered data set decodes under.
+    fn global_index(&self, local: usize) -> usize {
+        match &self.global_of {
+            Some(map) => map[local],
+            None => local,
+        }
     }
 
     /// The underlying store (manifest, header, byte source).
@@ -183,6 +228,9 @@ impl LazyIndex {
         }
         metrics.faults.inc();
         trace::add("segment_faults", 1);
+        if let Some(obs) = &self.shard_obs {
+            obs.faults.inc();
+        }
         let manifest = self.store.manifest();
         let info = &manifest.segments[seg_index];
         let what = format!(
@@ -198,6 +246,9 @@ impl LazyIndex {
             return Err(StoreError::ChecksumMismatch { what });
         }
         let bytes = self.store.source().fetch(info.loc, &what, false)?;
+        if let Some(obs) = &self.shard_obs {
+            obs.bytes_fetched.add(bytes.len() as u64);
+        }
         // ordering: Acquire — same pairing as the verdict check above.
         if self.verified[seg_index].load(Ordering::Acquire) == UNVERIFIED {
             metrics.verifications.inc();
@@ -213,7 +264,11 @@ impl LazyIndex {
                 }
             }
         }
-        let entry = Arc::new(decode_function_segment(&bytes, info.dataset_index, &what)?);
+        let entry = Arc::new(decode_function_segment(
+            &bytes,
+            self.global_index(info.dataset_index),
+            &what,
+        )?);
         if self.cache.insert(seg_index, Arc::clone(&entry)) {
             metrics.evictions.inc();
         }

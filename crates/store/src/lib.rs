@@ -82,6 +82,7 @@ pub mod format;
 pub mod lazy;
 pub mod pql_exec;
 pub mod session;
+pub mod shard;
 pub mod source;
 pub mod store;
 
@@ -93,5 +94,9 @@ pub use pql_exec::{
     PqlOutcome, PqlServeError,
 };
 pub use session::StoreSession;
+pub use shard::{
+    is_sharded, merge_shards, remove_dataset_sharded, save_sharded, shard_store,
+    upsert_dataset_sharded, ShardCatalog, ShardedLazy, SHARD_CATALOG_VERSION, SHARD_MAGIC,
+};
 pub use source::{SegmentSource, SourceBackend};
 pub use store::{LoadFilter, Store};

@@ -22,9 +22,23 @@
 //! data sets: a query naming an unloaded one is a typed
 //! [`StoreError::DatasetNotLoaded`] — never a silently empty result — and
 //! whole-corpus queries range over the loaded subset.
+//!
+//! ## Sharded stores
+//!
+//! Every open path sniffs the file magic: a shard catalog
+//! ([`crate::shard`], magic `PLGYSHRD`) opens as a *sharded* session, a
+//! plain store (`PLGYSTOR`) as a monolithic one — callers never say which.
+//! A sharded session routes each expanded unit task to its owning shard's
+//! worker set (scatter) and reassembles results in canonical task order
+//! (gather), so query output is **byte-identical for any shard count and
+//! any worker layout** — a one-shard store answers exactly like the
+//! monolith it was migrated from. Lazy sharded sessions degrade per shard:
+//! a missing or corrupt shard file fails only the queries whose footprint
+//! touches it, with a typed [`StoreError::ShardUnavailable`].
 
 use crate::error::{Result, StoreError};
 use crate::lazy::LazyIndex;
+use crate::shard::{is_sharded, load_sharded_eager, ShardedLazy};
 use crate::source::SourceBackend;
 use crate::store::{LoadFilter, Store};
 use polygamy_core::cache::{QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
@@ -32,7 +46,8 @@ use polygamy_core::index::{DatasetEntry, IndexView, PolygamyIndex};
 use polygamy_core::query::RelationshipQuery;
 use polygamy_core::relationship::Relationship;
 use polygamy_core::{
-    run_query, run_query_many, run_query_many_view, run_query_view, CityGeometry, Config,
+    run_query, run_query_many, run_query_many_view, run_query_many_view_routed, run_query_view,
+    run_query_view_routed, CityGeometry, Config, ShardMap,
 };
 use std::path::Path;
 
@@ -41,10 +56,15 @@ use std::path::Path;
 enum Backing {
     /// Every admitted segment decoded at open. The `u64` is the source's
     /// byte counter captured right after the one-shot load — the total
-    /// I/O an eager session will ever do.
+    /// I/O an eager session will ever do. Sharded stores also load eagerly
+    /// into this variant (the shard layout survives in the session's
+    /// routing map).
     Eager(PolygamyIndex, u64),
     /// Segments faulted in per query footprint.
     Lazy(LazyIndex),
+    /// Segments faulted in per query footprint from per-shard files, with
+    /// per-shard availability (degraded serving).
+    ShardedLazy(ShardedLazy),
 }
 
 /// A read-only serving session: geometry + (eager or lazy) index + query
@@ -100,6 +120,9 @@ pub struct StoreSession {
     /// Names of the data sets whose segments were admitted by the load
     /// filter — the set this session can serve.
     loaded: Vec<String>,
+    /// Data set → shard routing for the scatter-gather executor. Monolithic
+    /// (single shard) for plain stores, so routing is a no-op there.
+    shards: ShardMap,
     cache: QueryCache,
 }
 
@@ -112,8 +135,23 @@ impl StoreSession {
 
     /// Opens an eager session with an explicit configuration and load
     /// filter — only the function segments the filter admits are read off
-    /// disk.
+    /// disk. Sharded stores (shard-catalog magic) are detected here: every
+    /// shard the filter touches must be available, and the session routes
+    /// tasks per shard while answering byte-identically to the monolith.
     pub fn open_with(path: impl AsRef<Path>, config: Config, filter: &LoadFilter) -> Result<Self> {
+        let path = path.as_ref();
+        if is_sharded(path)? {
+            let (catalog, geometry, index, bytes_loaded) = load_sharded_eager(path, filter)?;
+            let loaded = loaded_names(&index.datasets, filter);
+            return Ok(Self {
+                geometry,
+                config,
+                backing: Backing::Eager(index, bytes_loaded),
+                loaded,
+                shards: catalog.shard_map(),
+                cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
+            });
+        }
         Self::from_store(&Store::open(path)?, config, filter)
     }
 
@@ -131,22 +169,41 @@ impl StoreSession {
 
     /// Opens a lazy session with an explicit configuration, load filter
     /// and I/O backend ([`SourceBackend::Mmap`] serves segment bytes as
-    /// borrowed views into a read-only mapping).
+    /// borrowed views into a read-only mapping). Sharded stores are
+    /// detected here and open *degraded*: unavailable shard files are
+    /// recorded, and only queries touching them fail.
     pub fn open_lazy_with(
         path: impl AsRef<Path>,
         config: Config,
         filter: &LoadFilter,
         backend: SourceBackend,
     ) -> Result<Self> {
+        let path = path.as_ref();
+        if is_sharded(path)? {
+            let lazy = ShardedLazy::open(path, filter, backend)?;
+            let geometry = lazy.load_geometry()?;
+            let loaded = loaded_names(lazy.catalog(), filter);
+            let shards = lazy.shard_map();
+            return Ok(Self {
+                geometry,
+                config,
+                backing: Backing::ShardedLazy(lazy),
+                loaded,
+                shards,
+                cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
+            });
+        }
         let store = Store::open_with_backend(path, backend)?;
         let lazy = LazyIndex::new(store, filter)?;
         let geometry = lazy.store().load_geometry()?;
         let loaded = loaded_names(&lazy.store().manifest().datasets, filter);
+        let shards = ShardMap::monolithic(lazy.store().manifest().datasets.len());
         Ok(Self {
             geometry,
             config,
             backing: Backing::Lazy(lazy),
             loaded,
+            shards,
             cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
         })
     }
@@ -159,11 +216,13 @@ impl StoreSession {
         // Captured after the one-shot load: an eager session never reads
         // again, so this is its total (and final) I/O.
         let bytes_loaded = store.source().bytes_fetched();
+        let shards = ShardMap::monolithic(index.datasets.len());
         Ok(Self {
             geometry,
             config,
             backing: Backing::Eager(index, bytes_loaded),
             loaded,
+            shards,
             cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
         })
     }
@@ -180,14 +239,40 @@ impl StoreSession {
         let query = self.scope_to_loaded(query)?;
         match &self.backing {
             Backing::Eager(index, _) => {
-                run_query(index, &self.geometry, &self.config, &self.cache, &query)
+                if self.shards.is_monolithic() {
+                    run_query(index, &self.geometry, &self.config, &self.cache, &query)
+                        .map_err(Into::into)
+                } else {
+                    let view = IndexView::new(&index.datasets, index.functions.iter().collect());
+                    run_query_view_routed(
+                        &view,
+                        &self.geometry,
+                        &self.config,
+                        &self.cache,
+                        &query,
+                        &self.shards,
+                    )
                     .map_err(Into::into)
+                }
             }
             Backing::Lazy(lazy) => {
                 let pinned = lazy.pin_for(std::slice::from_ref(&query))?;
                 let view = IndexView::new(lazy.catalog(), pinned.iter().map(|a| &**a).collect());
                 run_query_view(&view, &self.geometry, &self.config, &self.cache, &query)
                     .map_err(Into::into)
+            }
+            Backing::ShardedLazy(lazy) => {
+                let pinned = lazy.pin_for(std::slice::from_ref(&query))?;
+                let view = IndexView::new(lazy.catalog(), pinned.iter().map(|a| &**a).collect());
+                run_query_view_routed(
+                    &view,
+                    &self.geometry,
+                    &self.config,
+                    &self.cache,
+                    &query,
+                    &self.shards,
+                )
+                .map_err(Into::into)
             }
         }
     }
@@ -208,14 +293,40 @@ impl StoreSession {
             .collect::<Result<Vec<_>>>()?;
         match &self.backing {
             Backing::Eager(index, _) => {
-                run_query_many(index, &self.geometry, &self.config, &self.cache, &scoped)
+                if self.shards.is_monolithic() {
+                    run_query_many(index, &self.geometry, &self.config, &self.cache, &scoped)
+                        .map_err(Into::into)
+                } else {
+                    let view = IndexView::new(&index.datasets, index.functions.iter().collect());
+                    run_query_many_view_routed(
+                        &view,
+                        &self.geometry,
+                        &self.config,
+                        &self.cache,
+                        &scoped,
+                        &self.shards,
+                    )
                     .map_err(Into::into)
+                }
             }
             Backing::Lazy(lazy) => {
                 let pinned = lazy.pin_for(&scoped)?;
                 let view = IndexView::new(lazy.catalog(), pinned.iter().map(|a| &**a).collect());
                 run_query_many_view(&view, &self.geometry, &self.config, &self.cache, &scoped)
                     .map_err(Into::into)
+            }
+            Backing::ShardedLazy(lazy) => {
+                let pinned = lazy.pin_for(&scoped)?;
+                let view = IndexView::new(lazy.catalog(), pinned.iter().map(|a| &**a).collect());
+                run_query_many_view_routed(
+                    &view,
+                    &self.geometry,
+                    &self.config,
+                    &self.cache,
+                    &scoped,
+                    &self.shards,
+                )
+                .map_err(Into::into)
             }
         }
     }
@@ -255,7 +366,7 @@ impl StoreSession {
     pub fn index(&self) -> Option<&PolygamyIndex> {
         match &self.backing {
             Backing::Eager(index, _) => Some(index),
-            Backing::Lazy(_) => None,
+            Backing::Lazy(_) | Backing::ShardedLazy(_) => None,
         }
     }
 
@@ -267,28 +378,51 @@ impl StoreSession {
         match &self.backing {
             Backing::Eager(_, bytes_loaded) => *bytes_loaded,
             Backing::Lazy(lazy) => lazy.store().source().bytes_fetched(),
+            Backing::ShardedLazy(lazy) => lazy.bytes_fetched(),
         }
     }
 
-    /// The data set catalog (resident in both modes).
+    /// The data set catalog (resident in every mode).
     pub fn catalog(&self) -> &[DatasetEntry] {
         match &self.backing {
             Backing::Eager(index, _) => &index.datasets,
             Backing::Lazy(lazy) => lazy.catalog(),
+            Backing::ShardedLazy(lazy) => lazy.catalog(),
         }
     }
 
-    /// The demand-paged index — `Some` for lazy sessions only.
+    /// The demand-paged index — `Some` for (monolithic) lazy sessions only;
+    /// sharded sessions expose theirs via [`StoreSession::sharded_lazy`].
     pub fn lazy_index(&self) -> Option<&LazyIndex> {
         match &self.backing {
-            Backing::Eager(..) => None,
+            Backing::Eager(..) | Backing::ShardedLazy(_) => None,
             Backing::Lazy(lazy) => Some(lazy),
         }
     }
 
+    /// The per-shard demand-paged index — `Some` for sharded lazy sessions
+    /// only (inspect and the daemon use it for shard health).
+    pub fn sharded_lazy(&self) -> Option<&ShardedLazy> {
+        match &self.backing {
+            Backing::ShardedLazy(lazy) => Some(lazy),
+            _ => None,
+        }
+    }
+
+    /// The task-routing table: monolithic for plain stores, the shard
+    /// layout for sharded ones.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// Number of shard files behind this session (1 for a monolith).
+    pub fn n_shards(&self) -> usize {
+        self.shards.n_shards()
+    }
+
     /// True when this session faults segments in on demand.
     pub fn is_lazy(&self) -> bool {
-        matches!(self.backing, Backing::Lazy(_))
+        matches!(self.backing, Backing::Lazy(_) | Backing::ShardedLazy(_))
     }
 
     /// Names of the data sets this session serves.

@@ -298,8 +298,13 @@ impl Store {
 
     /// Reads the raw (still-encoded) segments of every data set admitted by
     /// `keep`, grouped by catalog position. Checksums are verified so
-    /// maintenance never copies corruption forward.
-    fn read_retained_segments(&self, keep: impl Fn(usize) -> bool) -> Result<Vec<SegmentGroup>> {
+    /// maintenance never copies corruption forward. Shared with the shard
+    /// migration paths ([`crate::shard`]), which move segment bytes between
+    /// files verbatim.
+    pub(crate) fn read_retained_segments(
+        &self,
+        keep: impl Fn(usize) -> bool,
+    ) -> Result<Vec<SegmentGroup>> {
         let mut per_dataset: Vec<SegmentGroup> = (0..self.manifest.datasets.len())
             .map(|_| Vec::new())
             .collect();
@@ -324,7 +329,7 @@ impl Store {
     }
 
     /// Reads the raw geometry blob, checksum-verified.
-    fn read_geometry_bytes(&self) -> Result<Vec<u8>> {
+    pub(crate) fn read_geometry_bytes(&self) -> Result<Vec<u8>> {
         Ok(self
             .source
             .read(self.manifest.geometry, "geometry")?
@@ -334,18 +339,19 @@ impl Store {
 
 /// Routing metadata for one segment being written.
 #[derive(Debug, Clone)]
-struct SegmentMeta {
-    function: String,
-    resolution: Resolution,
+pub(crate) struct SegmentMeta {
+    pub(crate) function: String,
+    pub(crate) resolution: Resolution,
 }
 
 /// One data set's encoded segments, in directory order.
-type SegmentGroup = Vec<(SegmentMeta, Vec<u8>)>;
+pub(crate) type SegmentGroup = Vec<(SegmentMeta, Vec<u8>)>;
 
 /// Serialises the geometry blob (JSON payload inside the checksummed
 /// segment framing — polygon soup gains nothing from a binary codec and
-/// stays debuggable this way).
-fn encode_geometry(geometry: &CityGeometry) -> Result<Vec<u8>> {
+/// stays debuggable this way). Shared with [`crate::shard`], which embeds
+/// the identical blob in every shard file.
+pub(crate) fn encode_geometry(geometry: &CityGeometry) -> Result<Vec<u8>> {
     serde_json::to_string(geometry)
         .map(String::into_bytes)
         .map_err(|e| StoreError::Corrupt(format!("geometry encode failed: {e}")))
@@ -359,7 +365,14 @@ fn decode_geometry(bytes: &[u8]) -> Result<CityGeometry> {
 }
 
 /// Composes and atomically writes a complete store file, then reopens it.
-fn write_store(
+///
+/// The layout is a pure function of its inputs: header, geometry bytes at
+/// offset [`HEADER_LEN`], segments in per-data-set order, tail manifest —
+/// no timestamps, no padding. Two calls with the same geometry bytes,
+/// catalog and segment bytes therefore produce byte-identical files; the
+/// shard/merge round-trip ([`crate::shard`]) leans on this to reproduce a
+/// monolith bit-for-bit.
+pub(crate) fn write_store(
     path: &Path,
     geometry_bytes: &[u8],
     catalog: Vec<DatasetEntry>,

@@ -1,0 +1,235 @@
+//! Migration round-trips between monolithic and sharded stores:
+//!
+//! * monolith → N shards → monolith reproduces the original file
+//!   **byte-for-byte** — manifest, geometry and segment bytes — for every
+//!   shard count, including the degenerate 1-shard layout;
+//! * [`save_sharded`] (index → shards directly) produces the exact shard
+//!   files [`shard_store`] (monolith → shards) produces, so the two build
+//!   paths can never drift;
+//! * sharded maintenance rewrites **exactly one shard file**: after an
+//!   upsert or removal every other shard's bytes are untouched, and the
+//!   rewritten layout still merges back to the byte-identical monolith a
+//!   monolithic maintenance pass would have produced.
+
+use polygamy_core::prelude::*;
+use polygamy_core::DataPolygamy;
+use polygamy_store::{
+    is_sharded, merge_shards, remove_dataset_sharded, save_sharded, shard_store,
+    upsert_dataset_sharded, ShardCatalog, Store, StoreSession,
+};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "polygamy-shard-migrate-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Cleanup(PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spiky_dataset(name: &str, level: f64, bump_at: i64) -> Dataset {
+    let meta = DatasetMeta {
+        name: name.into(),
+        spatial_resolution: SpatialResolution::City,
+        temporal_resolution: TemporalResolution::Hour,
+        description: format!("migration data set {name}"),
+    };
+    let mut b = DatasetBuilder::new(meta).attribute(AttributeMeta::named("signal"));
+    for h in 0..480i64 {
+        let v = if h == bump_at {
+            40.0
+        } else {
+            level + (h % 24) as f64 * 0.05
+        };
+        b.push(GeoPoint::new(0.5, 0.5), h * 3_600, &[v])
+            .expect("schema matches");
+    }
+    b.build().expect("dataset builds")
+}
+
+fn build_framework(datasets: &[Dataset]) -> DataPolygamy {
+    let mut dp = DataPolygamy::new(
+        CityGeometry::city_only(0.0, 0.0, 1.0, 1.0),
+        Config::fast_test(),
+    );
+    for d in datasets {
+        dp.add_dataset(d.clone());
+    }
+    dp.build_index();
+    dp
+}
+
+fn corpus() -> Vec<Dataset> {
+    vec![
+        spiky_dataset("alpha", 1.0, 100),
+        spiky_dataset("beta", -2.0, 100),
+        spiky_dataset("gamma", 0.5, 333),
+        spiky_dataset("delta", 3.0, 210),
+    ]
+}
+
+#[test]
+fn shard_then_merge_reproduces_the_monolith_byte_for_byte() {
+    let dir = tmp_dir("roundtrip");
+    let _cleanup = Cleanup(dir.clone());
+    let dp = build_framework(&corpus());
+    let monolith = dir.join("mono.plst");
+    Store::save(&monolith, dp.geometry(), dp.index().unwrap()).unwrap();
+    let original = std::fs::read(&monolith).unwrap();
+    assert!(!is_sharded(&monolith).unwrap());
+
+    for n_shards in [1usize, 2, 5] {
+        let catalog_path = dir.join(format!("sharded-{n_shards}.plst"));
+        let catalog = shard_store(&monolith, &catalog_path, n_shards).unwrap();
+        assert!(is_sharded(&catalog_path).unwrap());
+        assert_eq!(catalog.n_shards(), n_shards);
+        // Round-robin assignment, one owner per data set.
+        for di in 0..catalog.datasets.len() {
+            assert_eq!(catalog.shard_of[di], di % n_shards);
+        }
+        // The catalog survives its own disk round-trip.
+        assert_eq!(ShardCatalog::read(&catalog_path).unwrap(), catalog);
+
+        let merged = dir.join(format!("merged-{n_shards}.plst"));
+        merge_shards(&catalog_path, &merged).unwrap();
+        assert_eq!(
+            std::fs::read(&merged).unwrap(),
+            original,
+            "merge of {n_shards} shards must reproduce the monolith bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn save_sharded_matches_shard_store_output_exactly() {
+    let dir = tmp_dir("buildpaths");
+    let _cleanup = Cleanup(dir.clone());
+    let dp = build_framework(&corpus());
+
+    // Path A: monolith on disk, then migrate.
+    let monolith = dir.join("mono.plst");
+    Store::save(&monolith, dp.geometry(), dp.index().unwrap()).unwrap();
+    let via_migrate = dir.join("migrated.plst");
+    shard_store(&monolith, &via_migrate, 3).unwrap();
+
+    // Path B: straight from the in-memory index.
+    let via_save = dir.join("direct.plst");
+    save_sharded(&via_save, dp.geometry(), dp.index().unwrap(), 3).unwrap();
+
+    for i in 0..3 {
+        assert_eq!(
+            std::fs::read(dir.join(format!("migrated.shard{i}.plst"))).unwrap(),
+            std::fs::read(dir.join(format!("direct.shard{i}.plst"))).unwrap(),
+            "shard {i} must be identical from both build paths"
+        );
+    }
+}
+
+#[test]
+fn sharded_upsert_rewrites_exactly_one_shard() {
+    let dir = tmp_dir("upsert");
+    let _cleanup = Cleanup(dir.clone());
+    let dp = build_framework(&corpus());
+    let monolith = dir.join("mono.plst");
+    Store::save(&monolith, dp.geometry(), dp.index().unwrap()).unwrap();
+    let catalog_path = dir.join("sharded.plst");
+    shard_store(&monolith, &catalog_path, 3).unwrap();
+    // Round-robin over 4 data sets: shard 0 = {alpha, delta},
+    // shard 1 = {beta}, shard 2 = {gamma}.
+    let before: Vec<Vec<u8>> = (0..3)
+        .map(|i| std::fs::read(dir.join(format!("sharded.shard{i}.plst"))).unwrap())
+        .collect();
+
+    // Replace beta (shard 1) with different data.
+    let replacement = spiky_dataset("beta", -5.0, 42);
+    let catalog =
+        upsert_dataset_sharded(&catalog_path, &replacement, &Config::fast_test()).unwrap();
+    assert_eq!(catalog.shard_of, vec![0, 1, 2, 0]);
+    let after: Vec<Vec<u8>> = (0..3)
+        .map(|i| std::fs::read(dir.join(format!("sharded.shard{i}.plst"))).unwrap())
+        .collect();
+    assert_eq!(after[0], before[0], "shard 0 untouched");
+    assert_ne!(after[1], before[1], "shard 1 rewritten");
+    assert_eq!(after[2], before[2], "shard 2 untouched");
+
+    // The rewritten layout merges to the byte-identical monolith a
+    // monolithic upsert would have produced.
+    Store::upsert_dataset(&monolith, &replacement, &Config::fast_test()).unwrap();
+    let merged = dir.join("merged.plst");
+    merge_shards(&catalog_path, &merged).unwrap();
+    assert_eq!(
+        std::fs::read(&merged).unwrap(),
+        std::fs::read(&monolith).unwrap()
+    );
+
+    // A brand-new data set lands on the least-loaded shard (shard 1 or 2
+    // hold one each; ties go lowest → shard 1) and queries still match.
+    let fresh = spiky_dataset("zeta", 2.0, 77);
+    let catalog = upsert_dataset_sharded(&catalog_path, &fresh, &Config::fast_test()).unwrap();
+    assert_eq!(catalog.shard_of, vec![0, 1, 2, 0, 1]);
+    Store::upsert_dataset(&monolith, &fresh, &Config::fast_test()).unwrap();
+    let merged2 = dir.join("merged2.plst");
+    merge_shards(&catalog_path, &merged2).unwrap();
+    assert_eq!(
+        std::fs::read(&merged2).unwrap(),
+        std::fs::read(&monolith).unwrap()
+    );
+}
+
+#[test]
+fn sharded_removal_rewrites_exactly_one_shard_and_keeps_assignments() {
+    let dir = tmp_dir("remove");
+    let _cleanup = Cleanup(dir.clone());
+    let dp = build_framework(&corpus());
+    let monolith = dir.join("mono.plst");
+    Store::save(&monolith, dp.geometry(), dp.index().unwrap()).unwrap();
+    let catalog_path = dir.join("sharded.plst");
+    shard_store(&monolith, &catalog_path, 3).unwrap();
+    let before: Vec<Vec<u8>> = (0..3)
+        .map(|i| std::fs::read(dir.join(format!("sharded.shard{i}.plst"))).unwrap())
+        .collect();
+
+    // Remove alpha (shard 0). The explicit assignment means beta, gamma
+    // and delta keep their shards — no cascade.
+    let catalog = remove_dataset_sharded(&catalog_path, "alpha").unwrap();
+    assert_eq!(
+        catalog
+            .datasets
+            .iter()
+            .map(|d| d.meta.name.as_str())
+            .collect::<Vec<_>>(),
+        ["beta", "gamma", "delta"]
+    );
+    assert_eq!(catalog.shard_of, vec![1, 2, 0]);
+    let after: Vec<Vec<u8>> = (0..3)
+        .map(|i| std::fs::read(dir.join(format!("sharded.shard{i}.plst"))).unwrap())
+        .collect();
+    assert_ne!(after[0], before[0], "shard 0 rewritten");
+    assert_eq!(after[1], before[1], "shard 1 untouched");
+    assert_eq!(after[2], before[2], "shard 2 untouched");
+
+    // Removal merges to the monolithic removal's exact bytes, and the
+    // degraded layout still serves correct query results.
+    Store::remove_dataset(&monolith, "alpha").unwrap();
+    let merged = dir.join("merged.plst");
+    merge_shards(&catalog_path, &merged).unwrap();
+    assert_eq!(
+        std::fs::read(&merged).unwrap(),
+        std::fs::read(&monolith).unwrap()
+    );
+
+    let clause = Clause::default().permutations(40).include_insignificant();
+    let q = RelationshipQuery::between(&["beta"], &["gamma"]).with_clause(clause);
+    let sharded = StoreSession::open(&catalog_path).unwrap();
+    let mono = StoreSession::open(&monolith).unwrap();
+    assert_eq!(sharded.query(&q).unwrap(), mono.query(&q).unwrap());
+}

@@ -6,16 +6,20 @@
 //! both `query` and `query_many`, in both **eager and lazy** read modes
 //! (the lazy session faults segments in per query footprint; pinned
 //! entries keep directory order, so expansion — and therefore output — is
-//! unchanged). Tasks carry their own FNV-derived Monte Carlo seeds and
-//! results are assembled in canonical task order, so scheduling can never
-//! leak into significance verdicts. Byte-identity is checked on the
-//! serialized JSON, not just `PartialEq`, so even the bit patterns of
-//! scores and p-values must agree.
+//! unchanged), and — since the store learned to shard — for **any shard
+//! count**: a store split over 1, 2 or 5 shard files answers with the
+//! exact bytes of the monolith it was migrated from, because the
+//! scatter-gather coordinator reassembles per-shard results in canonical
+//! task order before ranking. Tasks carry their own FNV-derived Monte
+//! Carlo seeds and results are assembled in canonical task order, so
+//! scheduling can never leak into significance verdicts. Byte-identity is
+//! checked on the serialized JSON, not just `PartialEq`, so even the bit
+//! patterns of scores and p-values must agree.
 
 use polygamy_core::prelude::*;
 use polygamy_core::DataPolygamy;
 use polygamy_mapreduce::Cluster;
-use polygamy_store::{LoadFilter, SourceBackend, Store, StoreSession};
+use polygamy_store::{shard_store, LoadFilter, SourceBackend, Store, StoreSession};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -194,6 +198,67 @@ fn store_session_results_identical_across_worker_counts() {
     }
 }
 
+/// The shard axis of the matrix: workers {1, 2, host} × shards {1, 2, 5}
+/// × {eager, lazy, lazy-mmap} × {query, query_many}, every cell
+/// byte-identical to the monolithic single-worker baseline. The 1-shard
+/// store pins the degenerate case (sharded ≡ monolith), and the 5-shard
+/// layout (more shards than some worker counts) exercises gather across
+/// uneven worker/shard splits.
+#[test]
+fn sharded_sessions_identical_to_monolith_for_any_shard_count() {
+    let path = tmp_path("shard-matrix");
+    let _cleanup = Cleanup(path.clone());
+    let datasets = vec![
+        spiky_dataset("alpha", 1.0, 100),
+        spiky_dataset("beta", -2.0, 100),
+        spiky_dataset("gamma", 0.5, 222),
+    ];
+    let dp = build_framework(&datasets, Cluster::local(1));
+    Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
+
+    let queries = test_queries();
+    let reference: Vec<String> = queries
+        .iter()
+        .map(|q| json(&dp.query(q).unwrap()))
+        .collect();
+    assert!(reference.iter().any(|j| j != "[]"));
+
+    let mut cleanups = Vec::new();
+    for n_shards in [1usize, 2, 5] {
+        let catalog_path = tmp_path(&format!("shard-matrix-{n_shards}"));
+        cleanups.push(Cleanup(catalog_path.clone()));
+        let catalog = shard_store(&path, &catalog_path, n_shards).unwrap();
+        for i in 0..n_shards {
+            cleanups.push(Cleanup(catalog.shard_path(&catalog_path, i)));
+        }
+        for cluster in worker_matrix() {
+            // The same session_matrix helper opens sharded stores — the
+            // session auto-detects the catalog magic.
+            for (mode, session) in session_matrix(&catalog_path, cluster) {
+                assert_eq!(session.n_shards(), n_shards, "{mode}");
+                for (q, expect) in queries.iter().zip(&reference) {
+                    assert_eq!(
+                        &json(&session.query(q).unwrap()),
+                        expect,
+                        "{mode} query @ {cluster:?} × {n_shards} shards"
+                    );
+                }
+            }
+            // Fresh sessions for the batched path (cold caches again).
+            for (mode, session) in session_matrix(&catalog_path, cluster) {
+                let batched = session.query_many(&queries).unwrap();
+                for (rels, expect) in batched.iter().zip(&reference) {
+                    assert_eq!(
+                        &json(rels),
+                        expect,
+                        "{mode} query_many @ {cluster:?} × {n_shards} shards"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The tracing axis of the matrix: running the *same* queries inside a
 /// `trace::record` scope must not change a byte of the result JSON, on
 /// any worker count, eager or lazy, `query` or PQL. Tracing observes the
@@ -282,6 +347,20 @@ proptest! {
         Store::save(&path, dp.geometry(), dp.index().unwrap()).unwrap();
         for cluster in worker_matrix() {
             for (_mode, session) in session_matrix(&path, cluster) {
+                prop_assert_eq!(&json(&session.query(&query).unwrap()), &reference);
+            }
+        }
+
+        // And sharded: the same random corpus split over 3 shard files
+        // still answers with the reference bytes in every mode.
+        let catalog_path = tmp_path(&format!("prop-shard-{}", bumps.len()));
+        let catalog = shard_store(&path, &catalog_path, 3).unwrap();
+        let mut cleanups = vec![Cleanup(catalog_path.clone())];
+        for i in 0..3 {
+            cleanups.push(Cleanup(catalog.shard_path(&catalog_path, i)));
+        }
+        for cluster in worker_matrix() {
+            for (_mode, session) in session_matrix(&catalog_path, cluster) {
                 prop_assert_eq!(&json(&session.query(&query).unwrap()), &reference);
             }
         }
